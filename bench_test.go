@@ -1,0 +1,170 @@
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// benchmarks, one per experiment. Each iteration runs the experiment at a
+// reduced but structurally identical scale; ns/op is wall-clock simulation
+// cost, while the reported custom metrics carry the simulated results.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// For paper-scale output use cmd/semperos-bench instead.
+package semperos_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// BenchmarkTable3ExchangeRevoke regenerates Table 3: runtimes of capability
+// exchange and revocation, group-local and group-spanning, SemperOS vs M3.
+func BenchmarkTable3ExchangeRevoke(b *testing.B) {
+	var r bench.Table3Result
+	for i := 0; i < b.N; i++ {
+		r = bench.Table3()
+	}
+	b.ReportMetric(float64(r.ExchangeLocal), "exch-local-cycles")
+	b.ReportMetric(float64(r.ExchangeSpanning), "exch-span-cycles")
+	b.ReportMetric(float64(r.RevokeLocal), "revoke-local-cycles")
+	b.ReportMetric(float64(r.RevokeSpanning), "revoke-span-cycles")
+	b.ReportMetric(float64(r.M3Exchange), "m3-exch-cycles")
+	b.ReportMetric(float64(r.M3Revoke), "m3-revoke-cycles")
+}
+
+// BenchmarkFig4ChainRevocation regenerates Figure 4 (chains up to 40).
+func BenchmarkFig4ChainRevocation(b *testing.B) {
+	var r bench.Fig4Result
+	for i := 0; i < b.N; i++ {
+		r = bench.Fig4(40)
+	}
+	last := len(r.Lengths) - 1
+	b.ReportMetric(float64(r.LocalSemperOS[last].Cycles), "local-cycles")
+	b.ReportMetric(float64(r.SpanningChain[last].Cycles), "spanning-cycles")
+	b.ReportMetric(float64(r.LocalM3[last].Cycles), "m3-cycles")
+}
+
+// BenchmarkFig5TreeRevocation regenerates Figure 5 (trees up to 64 children).
+func BenchmarkFig5TreeRevocation(b *testing.B) {
+	var r bench.Fig5Result
+	for i := 0; i < b.N; i++ {
+		r = bench.Fig5(64)
+	}
+	last := len(r.Counts) - 1
+	for _, s := range r.Series {
+		if s.ExtraKernels == 0 {
+			b.ReportMetric(float64(s.Points[last].Cycles), "local-cycles")
+		}
+		if s.ExtraKernels == 12 {
+			b.ReportMetric(float64(s.Points[last].Cycles), "12kernel-cycles")
+		}
+	}
+}
+
+// BenchmarkTable4CapabilityOperations regenerates Table 4 at quick scale.
+func BenchmarkTable4CapabilityOperations(b *testing.B) {
+	var r bench.Table4Result
+	for i := 0; i < b.N; i++ {
+		r = bench.Table4(bench.Quick())
+	}
+	for _, row := range r.Rows {
+		b.ReportMetric(row.RateN, row.Name+"-ops/s")
+	}
+}
+
+// benchEfficiency measures parallel efficiency of one app at quick scale.
+func benchEfficiency(b *testing.B, name string) {
+	tr := trace.ByName(name)
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		e, _, _, err := workload.ParallelEfficiency(workload.Config{
+			Kernels: 4, Services: 4, Instances: 32, Trace: tr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff = e
+	}
+	b.ReportMetric(eff*100, "efficiency-%")
+}
+
+// BenchmarkFig6ParallelEfficiency* regenerate Figure 6's per-application
+// parallel efficiency (quick scale: 32 instances, 4 kernels + 4 services).
+func BenchmarkFig6ParallelEfficiencyTar(b *testing.B)      { benchEfficiency(b, "tar") }
+func BenchmarkFig6ParallelEfficiencyUntar(b *testing.B)    { benchEfficiency(b, "untar") }
+func BenchmarkFig6ParallelEfficiencyFind(b *testing.B)     { benchEfficiency(b, "find") }
+func BenchmarkFig6ParallelEfficiencySQLite(b *testing.B)   { benchEfficiency(b, "sqlite") }
+func BenchmarkFig6ParallelEfficiencyLevelDB(b *testing.B)  { benchEfficiency(b, "leveldb") }
+func BenchmarkFig6ParallelEfficiencyPostMark(b *testing.B) { benchEfficiency(b, "postmark") }
+
+// BenchmarkFig7ServiceDependence regenerates Figure 7's effect at quick
+// scale: SQLite efficiency with few vs many services.
+func BenchmarkFig7ServiceDependence(b *testing.B) {
+	tr := trace.SQLite()
+	var few, many float64
+	for i := 0; i < b.N; i++ {
+		f, _, _, err := workload.ParallelEfficiency(workload.Config{Kernels: 8, Services: 1, Instances: 48, Trace: tr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, _, _, err := workload.ParallelEfficiency(workload.Config{Kernels: 8, Services: 8, Instances: 48, Trace: tr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		few, many = f, m
+	}
+	b.ReportMetric(few*100, "1svc-efficiency-%")
+	b.ReportMetric(many*100, "8svc-efficiency-%")
+}
+
+// BenchmarkFig8KernelDependence regenerates Figure 8's effect at quick
+// scale: PostMark efficiency with few vs many kernels.
+func BenchmarkFig8KernelDependence(b *testing.B) {
+	tr := trace.PostMark()
+	var few, many float64
+	for i := 0; i < b.N; i++ {
+		f, _, _, err := workload.ParallelEfficiency(workload.Config{Kernels: 1, Services: 8, Instances: 48, Trace: tr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, _, _, err := workload.ParallelEfficiency(workload.Config{Kernels: 8, Services: 8, Instances: 48, Trace: tr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		few, many = f, m
+	}
+	b.ReportMetric(few*100, "1kernel-efficiency-%")
+	b.ReportMetric(many*100, "8kernel-efficiency-%")
+}
+
+// BenchmarkFig9SystemEfficiency regenerates Figure 9's metric at quick
+// scale: system efficiency (OS PEs count as zero) for PostMark.
+func BenchmarkFig9SystemEfficiency(b *testing.B) {
+	tr := trace.PostMark()
+	var sysEff float64
+	for i := 0; i < b.N; i++ {
+		eff, _, _, err := workload.ParallelEfficiency(workload.Config{Kernels: 4, Services: 4, Instances: 56, Trace: tr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sysEff = workload.SystemEfficiency(eff, 4, 4, 56)
+	}
+	b.ReportMetric(sysEff*100, "system-efficiency-%")
+}
+
+// BenchmarkFig10Nginx regenerates Figure 10's metric at quick scale:
+// aggregate webserver requests per second.
+func BenchmarkFig10Nginx(b *testing.B) {
+	var rps float64
+	for i := 0; i < b.N; i++ {
+		r, err := workload.RunNginx(workload.NginxConfig{
+			Kernels: 4, Services: 4, Servers: 8, Duration: 6_000_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rps = r.RequestsPerSecond()
+	}
+	b.ReportMetric(rps, "req/s")
+}

@@ -1,0 +1,77 @@
+// Command semperos-bench regenerates the tables and figures of the
+// SemperOS paper's evaluation (USENIX ATC'19, §5).
+//
+// Usage:
+//
+//	semperos-bench -experiment all            # everything, paper scale
+//	semperos-bench -experiment table3,fig4    # selected experiments
+//	semperos-bench -experiment fig6 -quick    # reduced scale
+//
+// Experiments: table3, fig4, fig5, table4, fig6, fig7, fig8, fig9, fig10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "comma-separated list: table3,fig4,fig5,table4,fig6,fig7,fig8,fig9,fig10,ablation,all")
+	quick := flag.Bool("quick", false, "run at reduced scale (64 instances, 8 kernels)")
+	flag.Parse()
+
+	opts := bench.Full()
+	if *quick {
+		opts = bench.Quick()
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*experiment, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := 0
+	run := func(name string, fn func()) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		fn()
+		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table3", func() { bench.Table3().Print(os.Stdout) })
+	run("fig4", func() { bench.Fig4(100).Print(os.Stdout) })
+	run("fig5", func() { bench.Fig5(128).Print(os.Stdout) })
+	run("table4", func() { bench.Table4(opts).Print(os.Stdout) })
+	run("fig6", func() { bench.Fig6(opts).Print(os.Stdout) })
+	run("fig7", func() {
+		for _, r := range bench.Fig7(opts) {
+			r.Print(os.Stdout)
+		}
+	})
+	run("fig8", func() {
+		for _, r := range bench.Fig8(opts) {
+			r.Print(os.Stdout)
+		}
+	})
+	run("fig9", func() {
+		for _, r := range bench.Fig9(opts) {
+			r.Print(os.Stdout)
+		}
+	})
+	run("fig10", func() { bench.Fig10(opts).Print(os.Stdout) })
+	run("ablation", func() { bench.AblationBatching(128, 12).Print(os.Stdout) })
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

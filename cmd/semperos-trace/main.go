@@ -1,0 +1,79 @@
+// Command semperos-trace inspects the synthetic application traces used by
+// the evaluation: the operation mix, capability-operation budget and image
+// footprint of each.
+//
+// Usage:
+//
+//	semperos-trace           # summary of all traces
+//	semperos-trace -app tar  # full op listing for one trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "", "print the full op list of one trace")
+	flag.Parse()
+
+	if *app != "" {
+		tr := trace.ByName(*app)
+		if tr == nil {
+			fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+			os.Exit(2)
+		}
+		dump(tr)
+		return
+	}
+	fmt.Println("trace      ops  capops  runtime(ms)  footprint(MiB)")
+	for _, tr := range trace.All() {
+		fmt.Printf("%-9s %5d  %6d  %11.3f  %14.1f\n",
+			tr.Name, len(tr.Ops), tr.WantCapOps,
+			float64(tr.TargetRuntime)/core.CyclesPerMicrosecond/1000,
+			float64(tr.Footprint(1<<20))/(1<<20))
+	}
+}
+
+var kindNames = map[trace.OpKind]string{
+	trace.OpCompute: "compute",
+	trace.OpOpen:    "open",
+	trace.OpRead:    "read",
+	trace.OpWrite:   "write",
+	trace.OpSeek:    "seek",
+	trace.OpClose:   "close",
+	trace.OpStat:    "stat",
+	trace.OpMkdir:   "mkdir",
+	trace.OpUnlink:  "unlink",
+	trace.OpReaddir: "readdir",
+}
+
+func dump(tr *trace.Trace) {
+	fmt.Printf("# %s: %d ops, %d cap ops\n", tr.Name, len(tr.Ops), tr.WantCapOps)
+	for _, f := range tr.Files {
+		fmt.Printf("preload %-24s %d bytes\n", f.Path, f.Size)
+	}
+	for i, op := range tr.Ops {
+		fmt.Printf("%4d  %-8s", i, kindNames[op.Kind])
+		if op.Path != "" {
+			fmt.Printf("  %-24s", op.Path)
+		}
+		if op.Kind == trace.OpOpen {
+			fmt.Printf("  slot=%d create=%v trunc=%v", op.Slot, op.Create, op.Trunc)
+		}
+		if op.Kind == trace.OpRead || op.Kind == trace.OpWrite || op.Kind == trace.OpSeek {
+			fmt.Printf("  slot=%d bytes=%d", op.Slot, op.Bytes)
+		}
+		if op.Kind == trace.OpClose {
+			fmt.Printf("  slot=%d revoke=%v", op.Slot, op.Revoke)
+		}
+		if op.Kind == trace.OpCompute {
+			fmt.Printf("  %d cycles", op.Cycles)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,122 @@
+// Webserver: the paper's §5.3.3 server scenario in miniature. Webserver
+// VPEs serve a static file from m3fs; load-generator VPEs — standing in
+// for network interfaces — fire requests at them over direct DTU channels
+// (established once via the capability system, then kernel-free).
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/m3fs"
+	"repro/internal/sim"
+)
+
+const (
+	servers  = 4
+	requests = 200 // per load generator
+)
+
+func main() {
+	sys := semperos.MustNew(semperos.Config{Kernels: 2, UserPEs: 1 + 2*servers})
+	defer sys.Close()
+	pes := sys.UserPEs()
+
+	// The filesystem holding the document root.
+	fsReady := sim.NewFuture[*m3fs.FS](sys.Eng)
+	if _, err := sys.SpawnOn(pes[0], "m3fs", m3fs.Program(m3fs.Config{}, func(fs *m3fs.FS) {
+		fs.MustCreate("/index.html", 8<<10)
+	}, fsReady)); err != nil {
+		panic(err)
+	}
+
+	type gate struct {
+		vpe *semperos.VPE
+		sel semperos.Selector
+	}
+	gates := make([]*sim.Future[gate], servers)
+	served := make([]int, servers)
+
+	for i := 0; i < servers; i++ {
+		i := i
+		gates[i] = sim.NewFuture[gate](sys.Eng)
+		if _, err := sys.SpawnOn(pes[1+i], fmt.Sprintf("httpd%d", i), func(v *semperos.VPE, p *semperos.Proc) {
+			fsReady.Wait(p)
+			client, err := m3fs.Dial(p, v, "m3fs")
+			if err != nil {
+				panic(err)
+			}
+			// Receive gate for HTTP requests.
+			sel, err := v.CreateRgate(p, 11, 0)
+			if err != nil {
+				panic(err)
+			}
+			gates[i].Complete(gate{vpe: v, sel: sel})
+			for {
+				m := v.DTU().Wait(p, 11)
+				// Per-request file work, as a real server trace does:
+				// stat + open + read + close.
+				if _, err := client.Stat(p, "/index.html"); err != nil {
+					panic(err)
+				}
+				f, err := client.Open(p, "/index.html", false, false)
+				if err != nil {
+					panic(err)
+				}
+				if _, err := f.Read(p, 8<<10); err != nil {
+					panic(err)
+				}
+				if err := f.Close(p, false); err != nil {
+					panic(err)
+				}
+				served[i]++
+				v.DTU().Reply(m, "HTTP/1.1 200 OK", 128)
+			}
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	// Load generators: obtain a send capability from the server's receive
+	// gate (connection establishment, paper Fig. 3), then hammer it.
+	var done sim.WaitGroup
+	done.Add(servers)
+	for i := 0; i < servers; i++ {
+		i := i
+		if _, err := sys.SpawnOn(pes[1+servers+i], fmt.Sprintf("nic%d", i), func(v *semperos.VPE, p *semperos.Proc) {
+			g := gates[i].Wait(p)
+			sendSel, err := v.ObtainFrom(p, g.vpe.ID, g.sel)
+			if err != nil {
+				panic(err)
+			}
+			if err := v.Activate(p, sendSel, 12); err != nil {
+				panic(err)
+			}
+			for r := 0; r < requests; r++ {
+				if err := v.DTU().Send(12, "GET /index.html", 256, 3, 0); err != nil {
+					panic(err)
+				}
+				m := v.DTU().Wait(p, 3)
+				v.DTU().Ack(m)
+			}
+			done.Done()
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	// Run until all load generators finish.
+	waiter := sys.Eng.Spawn("main", func(p *semperos.Proc) { done.Wait(p) })
+	_ = waiter
+	sys.Run()
+
+	total := 0
+	for i, n := range served {
+		fmt.Printf("httpd%d served %d requests\n", i, n)
+		total += n
+	}
+	secs := float64(sys.Now()) / core.CyclesPerSecond
+	fmt.Printf("\n%d requests in %.3f ms simulated time = %.0f requests/s aggregate\n",
+		total, secs*1000, float64(total)/secs)
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cap"
+	"repro/internal/core"
+	"repro/internal/dtu"
+	"repro/internal/sim"
+)
+
+// Ablation: revoke message batching. The paper's §5.2 closes its tree
+// revocation discussion with "we believe that this can be further improved
+// by the use of message batching. So far, the kernel managing the root
+// capability sends out one message for each child capability." This
+// experiment implements that proposal (core.Config.RevokeBatching) and
+// measures its effect on Figure 5's workload.
+
+// AblationRow compares plain and batched tree revocation at one breadth.
+type AblationRow struct {
+	Children      int
+	PlainCycles   sim.Duration
+	BatchedCycles sim.Duration
+	PlainMsgs     uint64
+	BatchedMsgs   uint64
+}
+
+// AblationResult is the batching ablation over tree breadths.
+type AblationResult struct {
+	ExtraKernels int
+	Rows         []AblationRow
+}
+
+// ablationTreeRevoke builds a root with n children over 1+extra kernels and
+// measures revoking it, returning the duration and total inter-kernel
+// messages.
+func ablationTreeRevoke(n, extra int, batching bool) (sim.Duration, uint64) {
+	kernels := extra + 1
+	perGroup := n + 1
+	if extra > 0 {
+		perGroup = (n+extra-1)/extra + 1
+	}
+	sys := core.MustNew(core.Config{
+		Kernels:        kernels,
+		UserPEs:        kernels * perGroup,
+		RevokeBatching: batching,
+	})
+	defer sys.Close()
+	byGroup := make(map[int][]int)
+	for _, pe := range sys.UserPEs() {
+		g := sys.KernelOfPE(pe).ID()
+		byGroup[g] = append(byGroup[g], pe)
+	}
+	rootPE := byGroup[0][0]
+	byGroup[0] = byGroup[0][1:]
+
+	ready := sim.NewFuture[cap.Selector](sys.Eng)
+	var wg sim.WaitGroup
+	wg.Add(n)
+	var revTime sim.Duration
+	var msgsBefore uint64
+	root, err := sys.SpawnOn(rootPE, "root", func(v *core.VPE, p *sim.Proc) {
+		sel, err := v.AllocMem(p, 4096, dtu.PermRW)
+		if err != nil {
+			panic(err)
+		}
+		ready.Complete(sel)
+		wg.Wait(p)
+		for ki := 0; ki < sys.Kernels(); ki++ {
+			msgsBefore += sys.Kernel(ki).Stats().IKCSent
+		}
+		t0 := p.Now()
+		if err := v.Revoke(p, sel); err != nil {
+			panic(err)
+		}
+		revTime = p.Now() - t0
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		g := 0
+		if extra > 0 {
+			g = 1 + i%extra
+		}
+		pe := byGroup[g][0]
+		byGroup[g] = byGroup[g][1:]
+		if _, err := sys.SpawnOn(pe, fmt.Sprintf("kid%d", i), func(v *core.VPE, p *sim.Proc) {
+			sel := ready.Wait(p)
+			if _, err := v.ObtainFrom(p, root.ID, sel); err != nil {
+				panic(err)
+			}
+			wg.Done()
+		}); err != nil {
+			panic(err)
+		}
+	}
+	sys.Run()
+	var msgsAfter uint64
+	for ki := 0; ki < sys.Kernels(); ki++ {
+		msgsAfter += sys.Kernel(ki).Stats().IKCSent
+	}
+	return revTime, msgsAfter - msgsBefore
+}
+
+// AblationBatching measures tree revocation with and without message
+// batching, spreading the children over 1+extra kernels.
+func AblationBatching(maxKids, extra int) AblationResult {
+	if maxKids <= 0 {
+		maxKids = 128
+	}
+	if extra <= 0 {
+		extra = 12
+	}
+	r := AblationResult{ExtraKernels: extra}
+	for n := 16; n <= maxKids; n += 16 {
+		pc, pm := ablationTreeRevoke(n, extra, false)
+		bc, bm := ablationTreeRevoke(n, extra, true)
+		r.Rows = append(r.Rows, AblationRow{
+			Children: n, PlainCycles: pc, BatchedCycles: bc, PlainMsgs: pm, BatchedMsgs: bm,
+		})
+	}
+	return r
+}
+
+// Print writes the ablation table.
+func (r AblationResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: revoke message batching (tree over 1+%d kernels)\n", r.ExtraKernels)
+	fmt.Fprintln(w, "caps   plain(µs)  batched(µs)  speedup   plain-msgs  batched-msgs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%4d   %9.2f  %11.2f  %6.2fx   %10d  %12d\n",
+			row.Children,
+			float64(row.PlainCycles)/core.CyclesPerMicrosecond,
+			float64(row.BatchedCycles)/core.CyclesPerMicrosecond,
+			float64(row.PlainCycles)/float64(row.BatchedCycles),
+			row.PlainMsgs, row.BatchedMsgs)
+	}
+}

@@ -1,0 +1,391 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options scales the application-level experiments. Full() reproduces the
+// paper's sweeps (512 instances, 640 PEs); Quick() shrinks them for smoke
+// runs and unit benchmarks.
+type Options struct {
+	// MaxInstances caps the largest instance count (paper: 512).
+	MaxInstances int
+	// Kernels64 is the "64 kernels" of the paper's sweeps.
+	Kernels64 int
+	// InstanceSteps are the x-axis instance counts, as fractions (x/8) of
+	// MaxInstances*? — concretely the multiples used: 1..8 of
+	// MaxInstances/8.
+	InstanceSteps []int
+}
+
+// Full returns the paper-scale options.
+func Full() Options {
+	return Options{MaxInstances: 512, Kernels64: 64, InstanceSteps: []int{64, 128, 192, 256, 320, 384, 448, 512}}
+}
+
+// Quick returns reduced options for smoke runs.
+func Quick() Options {
+	return Options{MaxInstances: 64, Kernels64: 8, InstanceSteps: []int{16, 32, 48, 64}}
+}
+
+func (o Options) scaleCfg(k, s int) (int, int) {
+	// Scale kernel/service counts proportionally when running quick.
+	f := o.Kernels64
+	return maxi(1, k*f/64), maxi(1, s*f/64)
+}
+
+// sparseSteps thins the instance axis to the paper's Figures 7-9 x-axis
+// (128..512 in four steps at full scale).
+func (o Options) sparseSteps() []int {
+	if len(o.InstanceSteps) <= 4 {
+		return o.InstanceSteps
+	}
+	var out []int
+	for i, n := range o.InstanceSteps {
+		if i%2 == 1 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- Table 4 ---------------------------------------------------------------
+
+// Table4Row is one application's row.
+type Table4Row struct {
+	Name     string
+	CapOps1  uint64
+	Rate1    float64
+	CapOpsN  uint64
+	RateN    float64
+	PaperOps uint64
+}
+
+// Table4Result holds all rows.
+type Table4Result struct {
+	N    int // parallel instance count (paper: 512)
+	Rows []Table4Row
+}
+
+// Table4 measures capability-operation counts and rates for 1 and N
+// parallel instances (paper: 512 instances, 64 kernels + 64 services).
+func Table4(o Options) Table4Result {
+	kernels, services := o.scaleCfg(64, 64)
+	res := Table4Result{N: o.MaxInstances}
+	for _, tr := range trace.All() {
+		r1, err := workload.Run(workload.Config{Kernels: 1, Services: 1, Instances: 1, Trace: tr})
+		if err != nil {
+			panic(err)
+		}
+		rn, err := workload.Run(workload.Config{
+			Kernels: kernels, Services: services, Instances: o.MaxInstances, Trace: tr,
+		})
+		if err != nil {
+			panic(err)
+		}
+		res.Rows = append(res.Rows, Table4Row{
+			Name:     tr.Name,
+			CapOps1:  r1.TotalCapOps,
+			Rate1:    r1.CapOpsPerSecond(),
+			CapOpsN:  rn.TotalCapOps,
+			RateN:    rn.CapOpsPerSecond(),
+			PaperOps: tr.WantCapOps,
+		})
+	}
+	return res
+}
+
+// Print writes the table in the paper's layout.
+func (r Table4Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table 4: Capability operations per application (1 and %d instances)\n", r.N)
+	fmt.Fprintln(w, "benchmark   ops(1)  ops/s(1)   ops(N)   ops/s(N)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s  %6d  %8.0f  %7d  %9.0f\n",
+			row.Name, row.CapOps1, row.Rate1, row.CapOpsN, row.RateN)
+	}
+}
+
+// --- Figures 6-9 -------------------------------------------------------------
+
+// EffPoint is one (instances, efficiency) point.
+type EffPoint struct {
+	Instances  int
+	Efficiency float64
+}
+
+// EffSeries is one line of an efficiency figure.
+type EffSeries struct {
+	Label  string
+	Points []EffPoint
+}
+
+// EffResult is a complete efficiency figure.
+type EffResult struct {
+	Title  string
+	Series []EffSeries
+}
+
+// Print writes the figure as one column per series.
+func (r EffResult) Print(w io.Writer) {
+	fmt.Fprintln(w, r.Title)
+	fmt.Fprint(w, "instances")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "  %18s", s.Label)
+	}
+	fmt.Fprintln(w)
+	if len(r.Series) == 0 {
+		return
+	}
+	for i, pt := range r.Series[0].Points {
+		fmt.Fprintf(w, "%9d", pt.Instances)
+		for _, s := range r.Series {
+			fmt.Fprintf(w, "  %17.1f%%", 100*s.Points[i].Efficiency)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// efficiencySweep measures parallel efficiency over instance counts for a
+// fixed kernel/service configuration. The single-instance baseline is
+// measured once per configuration.
+func efficiencySweep(tr *trace.Trace, kernels, services int, steps []int) []EffPoint {
+	r1, err := workload.Run(workload.Config{Kernels: kernels, Services: services, Instances: 1, Trace: tr})
+	if err != nil {
+		panic(err)
+	}
+	alone := r1.MeanRuntime()
+	var pts []EffPoint
+	for _, n := range steps {
+		rn, err := workload.Run(workload.Config{Kernels: kernels, Services: services, Instances: n, Trace: tr})
+		if err != nil {
+			panic(err)
+		}
+		pts = append(pts, EffPoint{Instances: n, Efficiency: float64(alone) / float64(rn.MeanRuntime())})
+	}
+	return pts
+}
+
+// Fig6 measures parallel efficiency of all six applications at 32 kernels
+// and 32 services (paper Figure 6).
+func Fig6(o Options) EffResult {
+	kernels, services := o.scaleCfg(32, 32)
+	res := EffResult{Title: fmt.Sprintf("Figure 6: Parallel efficiency, %d kernels + %d services", kernels, services)}
+	for _, tr := range trace.All() {
+		res.Series = append(res.Series, EffSeries{
+			Label:  tr.Name,
+			Points: efficiencySweep(tr, kernels, services, o.InstanceSteps),
+		})
+	}
+	return res
+}
+
+// Fig7 measures service dependence: tar and SQLite at max kernels with a
+// growing number of services (paper Figure 7).
+func Fig7(o Options) []EffResult {
+	kernels, _ := o.scaleCfg(64, 64)
+	svcCounts := []int{4, 8, 16, 32, 48, 64}
+	var out []EffResult
+	for _, tr := range []*trace.Trace{trace.Tar(), trace.SQLite()} {
+		res := EffResult{Title: fmt.Sprintf("Figure 7 (%s): service dependence, %d kernels", tr.Name, kernels)}
+		for _, s := range svcCounts {
+			_, services := o.scaleCfg(64, s)
+			res.Series = append(res.Series, EffSeries{
+				Label:  fmt.Sprintf("%dK %dS", kernels, services),
+				Points: efficiencySweep(tr, kernels, services, o.sparseSteps()),
+			})
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// Fig8 measures kernel dependence: PostMark and LevelDB at max services
+// with a growing number of kernels (paper Figure 8).
+func Fig8(o Options) []EffResult {
+	_, services := o.scaleCfg(64, 64)
+	kCounts := []int{4, 8, 16, 32, 48, 64}
+	var out []EffResult
+	for _, tr := range []*trace.Trace{trace.PostMark(), trace.LevelDB()} {
+		res := EffResult{Title: fmt.Sprintf("Figure 8 (%s): kernel dependence, %d services", tr.Name, services)}
+		for _, k := range kCounts {
+			kernels, _ := o.scaleCfg(k, 64)
+			res.Series = append(res.Series, EffSeries{
+				Label:  fmt.Sprintf("%dK %dS", kernels, services),
+				Points: efficiencySweep(tr, kernels, services, o.sparseSteps()),
+			})
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// SysEffPoint is one (total PEs, system efficiency) point.
+type SysEffPoint struct {
+	PEs        int
+	Efficiency float64
+}
+
+// SysEffSeries is one configuration line of Figure 9.
+type SysEffSeries struct {
+	Label    string
+	Kernels  int
+	Services int
+	Points   []SysEffPoint
+}
+
+// Fig9Result is the system-efficiency figure for one application.
+type Fig9Result struct {
+	Title  string
+	Series []SysEffSeries
+}
+
+// Print writes the figure.
+func (r Fig9Result) Print(w io.Writer) {
+	fmt.Fprintln(w, r.Title)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "  %-12s", s.Label)
+		for _, pt := range s.Points {
+			fmt.Fprintf(w, "  (%d PEs: %.1f%%)", pt.PEs, 100*pt.Efficiency)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig9 measures system efficiency (OS PEs count as zero) for PostMark and
+// SQLite across OS configurations and machine sizes (paper Figure 9).
+func Fig9(o Options) []Fig9Result {
+	configs := []struct{ k, s int }{
+		{8, 8}, {16, 16}, {32, 16}, {32, 32}, {48, 32}, {64, 32},
+	}
+	peCounts := []int{128, 256, 384, 512, 640}
+	if o.MaxInstances < 512 {
+		peCounts = []int{32, 64, 96, 128}
+	}
+	var out []Fig9Result
+	for _, tr := range []*trace.Trace{trace.PostMark(), trace.SQLite()} {
+		res := Fig9Result{Title: fmt.Sprintf("Figure 9 (%s): system efficiency", tr.Name)}
+		for _, cfg := range configs {
+			kernels, services := o.scaleCfg(cfg.k, cfg.s)
+			s := SysEffSeries{
+				Label:    fmt.Sprintf("%dK %dS", kernels, services),
+				Kernels:  kernels,
+				Services: services,
+			}
+			r1, err := workload.Run(workload.Config{Kernels: kernels, Services: services, Instances: 1, Trace: tr})
+			if err != nil {
+				panic(err)
+			}
+			alone := r1.MeanRuntime()
+			for _, pes := range peCounts {
+				instances := pes - kernels - services
+				if instances < 1 {
+					continue
+				}
+				rn, err := workload.Run(workload.Config{Kernels: kernels, Services: services, Instances: instances, Trace: tr})
+				if err != nil {
+					panic(err)
+				}
+				eff := float64(alone) / float64(rn.MeanRuntime())
+				s.Points = append(s.Points, SysEffPoint{
+					PEs:        pes,
+					Efficiency: workload.SystemEfficiency(eff, kernels, services, instances),
+				})
+			}
+			res.Series = append(res.Series, s)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// --- Figure 10 ---------------------------------------------------------------
+
+// NginxPoint is one (servers, requests/s) point.
+type NginxPoint struct {
+	Servers int
+	ReqPerS float64
+}
+
+// NginxSeries is one configuration line.
+type NginxSeries struct {
+	Label  string
+	Points []NginxPoint
+}
+
+// Fig10Result is the server-benchmark figure.
+type Fig10Result struct {
+	Title  string
+	Series []NginxSeries
+}
+
+// Print writes the figure.
+func (r Fig10Result) Print(w io.Writer) {
+	fmt.Fprintln(w, r.Title)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "  %-12s", s.Label)
+		for _, pt := range s.Points {
+			fmt.Fprintf(w, "  (%d srv: %.0f req/s)", pt.Servers, pt.ReqPerS)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig10 measures Nginx scalability over server process counts and OS
+// configurations (paper Figure 10).
+func Fig10(o Options) Fig10Result {
+	configs := []struct{ k, s int }{
+		{8, 8}, {8, 16}, {8, 32}, {16, 16}, {32, 16}, {32, 32},
+	}
+	serverCounts := []int{32, 64, 96, 128, 160, 192, 224, 256}
+	if o.MaxInstances < 512 {
+		serverCounts = []int{8, 16, 24, 32}
+	}
+	res := Fig10Result{Title: "Figure 10: Scalability of the Nginx webserver"}
+	for _, cfg := range configs {
+		kernels, services := o.scaleCfg(cfg.k, cfg.s)
+		s := NginxSeries{Label: fmt.Sprintf("%dK %dS", kernels, services)}
+		for _, n := range serverCounts {
+			r, err := workload.RunNginx(workload.NginxConfig{
+				Kernels: kernels, Services: services, Servers: n,
+			})
+			if err != nil {
+				panic(err)
+			}
+			s.Points = append(s.Points, NginxPoint{Servers: n, ReqPerS: r.RequestsPerSecond()})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// parallelEfficiencyBand is used by tests: the paper's headline claim is
+// 70-78% parallel efficiency at 512 instances with 11% of PEs for the OS.
+func parallelEfficiencyBand(o Options) (lo, hi float64) {
+	kernels, services := o.scaleCfg(32, 32)
+	lo, hi = 2.0, 0.0
+	for _, tr := range trace.All() {
+		pts := efficiencySweep(tr, kernels, services, []int{o.MaxInstances})
+		e := pts[0].Efficiency
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	return lo, hi
+}
+
+var _ = core.CyclesPerSecond // keep core imported for conversions

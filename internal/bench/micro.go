@@ -1,0 +1,336 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5): the capability-operation microbenchmarks (Table 3),
+// chain and tree revocation (Figures 4 and 5), the application workload
+// characterization (Table 4), parallel efficiency (Figure 6), service and
+// kernel dependence (Figures 7 and 8), system efficiency (Figure 9) and
+// the Nginx server benchmark (Figure 10).
+//
+// Absolute cycle counts come from the calibrated cost model; the
+// experiments reproduce the paper's relationships (who wins, by what
+// factor, where crossovers fall) rather than gem5's exact numbers.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cap"
+	"repro/internal/core"
+	"repro/internal/dtu"
+	"repro/internal/m3"
+	"repro/internal/sim"
+)
+
+// buildPair constructs a two-app system. With spanning=true the apps land
+// in different PE groups; otherwise both run under kernel 0.
+func buildPair(spanning bool) (*core.System, int, int) {
+	sys := core.MustNew(core.Config{Kernels: 2, UserPEs: 4})
+	// PEs 2,3 -> kernel 0; PEs 4,5 -> kernel 1.
+	if spanning {
+		return sys, 2, 4
+	}
+	return sys, 2, 3
+}
+
+// measureExchangeRevoke runs the paper's §5.2 microbenchmark on sys: app B
+// obtains a capability from app A, then A revokes it. It returns the
+// syscall latencies observed by the applications.
+func measureExchangeRevoke(sys *core.System, peA, peB int) (exchange, revoke sim.Duration) {
+	ready := sim.NewFuture[cap.Selector](sys.Eng)
+	obtained := sim.NewFuture[struct{}](sys.Eng)
+	var vA *core.VPE
+	vA, _ = sys.SpawnOn(peA, "A", func(v *core.VPE, p *sim.Proc) {
+		sel, err := v.AllocMem(p, 4096, dtu.PermRW)
+		if err != nil {
+			panic(err)
+		}
+		ready.Complete(sel)
+		obtained.Wait(p)
+		t0 := p.Now()
+		if err := v.Revoke(p, sel); err != nil {
+			panic(err)
+		}
+		revoke = p.Now() - t0
+	})
+	sys.SpawnOn(peB, "B", func(v *core.VPE, p *sim.Proc) {
+		sel := ready.Wait(p)
+		t0 := p.Now()
+		if _, err := v.ObtainFrom(p, vA.ID, sel); err != nil {
+			panic(err)
+		}
+		exchange = p.Now() - t0
+		obtained.Complete(struct{}{})
+	})
+	sys.Run()
+	sys.Close()
+	return exchange, revoke
+}
+
+// Table3Result holds the runtimes of capability operations (paper Table 3).
+type Table3Result struct {
+	ExchangeLocal    sim.Duration
+	ExchangeSpanning sim.Duration
+	RevokeLocal      sim.Duration
+	RevokeSpanning   sim.Duration
+	M3Exchange       sim.Duration
+	M3Revoke         sim.Duration
+}
+
+// Table3 measures exchange and revocation in the group-local and
+// group-spanning cases, for SemperOS and the M3 baseline.
+func Table3() Table3Result {
+	var r Table3Result
+	sys, a, b := buildPair(false)
+	r.ExchangeLocal, r.RevokeLocal = measureExchangeRevoke(sys, a, b)
+	sys, a, b = buildPair(true)
+	r.ExchangeSpanning, r.RevokeSpanning = measureExchangeRevoke(sys, a, b)
+	m3sys := m3.MustNew(m3.Config{UserPEs: 4})
+	r.M3Exchange, r.M3Revoke = measureExchangeRevoke(m3sys.System, 1, 2)
+	return r
+}
+
+// Print writes the table in the paper's layout.
+func (r Table3Result) Print(w io.Writer) {
+	pct := func(sos, base sim.Duration) string {
+		if base == 0 {
+			return "—"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(float64(sos)-float64(base))/float64(base))
+	}
+	fmt.Fprintln(w, "Table 3: Runtimes of capability operations (cycles)")
+	fmt.Fprintln(w, "Operation  Scope     SemperOS   M3     Increase")
+	fmt.Fprintf(w, "Exchange   Local     %6d   %6d   %s\n", r.ExchangeLocal, r.M3Exchange, pct(r.ExchangeLocal, r.M3Exchange))
+	fmt.Fprintf(w, "Exchange   Spanning  %6d        —   —\n", r.ExchangeSpanning)
+	fmt.Fprintf(w, "Revoke     Local     %6d   %6d   %s\n", r.RevokeLocal, r.M3Revoke, pct(r.RevokeLocal, r.M3Revoke))
+	fmt.Fprintf(w, "Revoke     Spanning  %6d        —   —\n", r.RevokeSpanning)
+}
+
+// --- Figure 4: chain revocation -------------------------------------------
+
+// ChainPoint is one point of Figure 4.
+type ChainPoint struct {
+	Length int
+	Cycles sim.Duration
+}
+
+// Fig4Result holds the three series of Figure 4.
+type Fig4Result struct {
+	Lengths       []int
+	LocalSemperOS []ChainPoint
+	SpanningChain []ChainPoint
+	LocalM3       []ChainPoint
+}
+
+// buildChainAndRevoke creates a capability chain of the given length (the
+// capability is exchanged from VPE to VPE) and measures revoking the root.
+// With alternate=true consecutive VPEs live in different PE groups,
+// creating the paper's ill-behaved cross-kernel ping-pong chain.
+func buildChainAndRevoke(sys *core.System, pes []int, length int, alternate bool) sim.Duration {
+	order := make([]int, length+1)
+	if alternate {
+		half := (len(pes) + 1) / 2
+		for i := range order {
+			if i%2 == 0 {
+				order[i] = pes[i/2]
+			} else {
+				order[i] = pes[half+i/2]
+			}
+		}
+	} else {
+		copy(order, pes[:length+1])
+	}
+	futs := make([]*sim.Future[cap.Selector], length+1)
+	for i := range futs {
+		futs[i] = sim.NewFuture[cap.Selector](sys.Eng)
+	}
+	vpes := make([]*core.VPE, length+1)
+	var revTime sim.Duration
+	done := sim.NewFuture[struct{}](sys.Eng)
+	var err0 error
+	vpes[0], err0 = sys.SpawnOn(order[0], "chain0", func(v *core.VPE, p *sim.Proc) {
+		sel, err := v.AllocMem(p, 4096, dtu.PermRW)
+		if err != nil {
+			panic(err)
+		}
+		futs[0].Complete(sel)
+		done.Wait(p)
+		t0 := p.Now()
+		if err := v.Revoke(p, sel); err != nil {
+			panic(err)
+		}
+		revTime = p.Now() - t0
+	})
+	if err0 != nil {
+		panic(err0)
+	}
+	for i := 1; i <= length; i++ {
+		i := i
+		var err error
+		vpes[i], err = sys.SpawnOn(order[i], fmt.Sprintf("chain%d", i), func(v *core.VPE, p *sim.Proc) {
+			prev := futs[i-1].Wait(p)
+			sel, err := v.ObtainFrom(p, vpes[i-1].ID, prev)
+			if err != nil {
+				panic(err)
+			}
+			futs[i].Complete(sel)
+			if i == length {
+				done.Complete(struct{}{})
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	if length == 0 {
+		sys.Eng.Schedule(0, func() {
+			futs[0].OnComplete(func(cap.Selector) { done.Complete(struct{}{}) })
+		})
+	}
+	sys.Run()
+	sys.Close()
+	return revTime
+}
+
+// Fig4 measures chain revocation for chain lengths 0..maxLen (step 10).
+func Fig4(maxLen int) Fig4Result {
+	if maxLen <= 0 {
+		maxLen = 100
+	}
+	r := Fig4Result{}
+	for l := 0; l <= maxLen; l += 10 {
+		r.Lengths = append(r.Lengths, l)
+
+		sys := core.MustNew(core.Config{Kernels: 2, UserPEs: maxLen + 2})
+		pes := sys.UserPEs()
+		r.LocalSemperOS = append(r.LocalSemperOS, ChainPoint{l, buildChainAndRevoke(sys, pes, l, false)})
+
+		sys = core.MustNew(core.Config{Kernels: 2, UserPEs: maxLen + 2})
+		r.SpanningChain = append(r.SpanningChain, ChainPoint{l, buildChainAndRevoke(sys, sys.UserPEs(), l, true)})
+
+		m3sys := m3.MustNew(m3.Config{UserPEs: maxLen + 2})
+		r.LocalM3 = append(r.LocalM3, ChainPoint{l, buildChainAndRevoke(m3sys.System, m3sys.UserPEs(), l, false)})
+	}
+	return r
+}
+
+// Print writes the three series (cycles, like the paper's K-cycle axis).
+func (r Fig4Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 4: Revoking capability chains of varying sizes (cycles)")
+	fmt.Fprintln(w, "len   local(SemperOS)   spanning(SemperOS)   local(M3)")
+	for i, l := range r.Lengths {
+		fmt.Fprintf(w, "%3d   %15d   %18d   %9d\n",
+			l, r.LocalSemperOS[i].Cycles, r.SpanningChain[i].Cycles, r.LocalM3[i].Cycles)
+	}
+}
+
+// --- Figure 5: tree revocation --------------------------------------------
+
+// TreeSeries is one line of Figure 5: child capabilities spread over
+// 1+Extra kernels.
+type TreeSeries struct {
+	ExtraKernels int
+	Points       []ChainPoint // Length is the child count here
+}
+
+// Fig5Result holds all series of Figure 5.
+type Fig5Result struct {
+	Counts []int
+	Series []TreeSeries
+}
+
+// buildTreeAndRevoke hands the root capability to n other VPEs (spread over
+// extra kernels if extra > 0) and measures revoking the whole tree.
+func buildTreeAndRevoke(n, extra int) sim.Duration {
+	kernels := extra + 1
+	perGroup := n + 1
+	if extra > 0 {
+		perGroup = (n+extra-1)/extra + 1
+	}
+	sys := core.MustNew(core.Config{Kernels: kernels, UserPEs: kernels * perGroup})
+	pes := sys.UserPEs()
+	// Group 0's first PE hosts the root; children are placed round-robin
+	// over the extra kernels (or locally if extra == 0).
+	byGroup := make(map[int][]int)
+	for _, pe := range pes {
+		g := sys.KernelOfPE(pe).ID()
+		byGroup[g] = append(byGroup[g], pe)
+	}
+	rootPE := byGroup[0][0]
+	byGroup[0] = byGroup[0][1:]
+
+	ready := sim.NewFuture[cap.Selector](sys.Eng)
+	var wg sim.WaitGroup
+	wg.Add(n)
+	var revTime sim.Duration
+	root, _ := sys.SpawnOn(rootPE, "root", func(v *core.VPE, p *sim.Proc) {
+		sel, err := v.AllocMem(p, 4096, dtu.PermRW)
+		if err != nil {
+			panic(err)
+		}
+		ready.Complete(sel)
+		wg.Wait(p)
+		t0 := p.Now()
+		if err := v.Revoke(p, sel); err != nil {
+			panic(err)
+		}
+		revTime = p.Now() - t0
+	})
+	for i := 0; i < n; i++ {
+		var g int
+		if extra == 0 {
+			g = 0
+		} else {
+			g = 1 + i%extra
+		}
+		pe := byGroup[g][0]
+		byGroup[g] = byGroup[g][1:]
+		sys.SpawnOn(pe, fmt.Sprintf("kid%d", i), func(v *core.VPE, p *sim.Proc) {
+			sel := ready.Wait(p)
+			if _, err := v.ObtainFrom(p, root.ID, sel); err != nil {
+				panic(err)
+			}
+			wg.Done()
+		})
+	}
+	sys.Run()
+	sys.Close()
+	return revTime
+}
+
+// Fig5 measures tree revocation for child counts 0..maxKids (step 16) and
+// kernel spreads 1+{0,1,4,8,12}.
+func Fig5(maxKids int) Fig5Result {
+	if maxKids <= 0 {
+		maxKids = 128
+	}
+	r := Fig5Result{}
+	for n := 0; n <= maxKids; n += 16 {
+		r.Counts = append(r.Counts, n)
+	}
+	for _, extra := range []int{0, 1, 4, 8, 12} {
+		s := TreeSeries{ExtraKernels: extra}
+		for _, n := range r.Counts {
+			s.Points = append(s.Points, ChainPoint{n, buildTreeAndRevoke(n, extra)})
+		}
+		r.Series = append(r.Series, s)
+	}
+	return r
+}
+
+// Print writes the series in µs, like the paper's Figure 5 axis.
+func (r Fig5Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5: Parallel revocation of capability trees (µs)")
+	fmt.Fprint(w, "caps ")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "  1+%-2d kernels", s.ExtraKernels)
+	}
+	fmt.Fprintln(w)
+	for i, n := range r.Counts {
+		fmt.Fprintf(w, "%4d ", n)
+		for _, s := range r.Series {
+			us := float64(s.Points[i].Cycles) / core.CyclesPerMicrosecond
+			fmt.Fprintf(w, "  %12.2f", us)
+		}
+		fmt.Fprintln(w)
+	}
+}

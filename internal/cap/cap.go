@@ -1,0 +1,295 @@
+// Package cap provides the kernel-local capability structures of SemperOS:
+// typed capabilities and the per-kernel mapping database that tracks
+// capability exchanges in a tree (paper §3.4, §4.3).
+//
+// A capability references a kernel object (the resource), the VPE holding
+// the access rights, and — through globally valid DDL keys — its parent and
+// children in the system-wide capability tree. Parent/child links may cross
+// kernels; this package only stores and manipulates the local part, while
+// package core runs the distributed protocols on top.
+package cap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ddl"
+	"repro/internal/dtu"
+)
+
+// Selector names a capability within one VPE's capability space, like a file
+// descriptor names an open file.
+type Selector uint32
+
+// NoSel is the invalid selector.
+const NoSel Selector = 0
+
+// Object is the kernel object a capability grants access to. Implementations
+// are the *Object types below.
+type Object interface {
+	// ObjType returns the DDL type tag for this object.
+	ObjType() ddl.Type
+}
+
+// VPEObject represents control over a VPE.
+type VPEObject struct {
+	VPE int // global VPE id
+	PE  int // PE the VPE runs on
+}
+
+// MemObject represents byte-granular access to a memory region.
+type MemObject struct {
+	PE   int // PE whose local memory backs the region
+	Off  uint64
+	Size uint64
+	Perm dtu.Perm
+}
+
+// SendObject represents the right to send messages to a receive endpoint.
+type SendObject struct {
+	DstPE   int
+	DstEP   int
+	Credits int
+	Label   uint64
+}
+
+// RecvObject represents a receive endpoint.
+type RecvObject struct {
+	PE    int
+	EP    int
+	Slots int
+}
+
+// ServiceObject represents a registered service.
+type ServiceObject struct {
+	Name string
+	PE   int // PE the service VPE runs on
+	VPE  int
+}
+
+// SessionObject represents an established session between a client and a
+// service.
+type SessionObject struct {
+	Service string
+	Ident   uint64 // service-private session identifier
+}
+
+// ObjType implementations.
+func (*VPEObject) ObjType() ddl.Type     { return ddl.TypeVPE }
+func (*MemObject) ObjType() ddl.Type     { return ddl.TypeMem }
+func (*SendObject) ObjType() ddl.Type    { return ddl.TypeSend }
+func (*RecvObject) ObjType() ddl.Type    { return ddl.TypeRecv }
+func (*ServiceObject) ObjType() ddl.Type { return ddl.TypeService }
+func (*SessionObject) ObjType() ddl.Type { return ddl.TypeSession }
+
+// Capability is one node of the capability tree.
+type Capability struct {
+	// Key is the capability's globally valid DDL key.
+	Key ddl.Key
+	// Owner is the global id of the VPE holding the rights.
+	Owner int
+	// Sel is the capability's selector in the owner's capability space.
+	Sel Selector
+	// Object is the referenced kernel object. Child capabilities share the
+	// object of their parent (possibly with restricted permissions).
+	Object Object
+	// Perm restricts the rights of this capability relative to the object.
+	Perm dtu.Perm
+	// Parent is the DDL key of the parent capability (0 for roots).
+	Parent ddl.Key
+	// Children are the DDL keys of capabilities derived from this one, in
+	// creation order. They may live at other kernels.
+	Children []ddl.Key
+
+	// Marked is set during phase one of the two-phase revocation
+	// (mark-and-sweep, paper §4.3.3). A marked capability is logically dead:
+	// exchanges involving it are denied.
+	Marked bool
+	// Outstanding counts revoke inter-kernel calls sent for this
+	// capability's children that have not been answered yet.
+	Outstanding int
+}
+
+// Type returns the capability's object type.
+func (c *Capability) Type() ddl.Type {
+	if c.Object == nil {
+		return ddl.TypeInvalid
+	}
+	return c.Object.ObjType()
+}
+
+func (c *Capability) String() string {
+	return fmt.Sprintf("cap<%v owner=v%d sel=%d kids=%d marked=%v>",
+		c.Key, c.Owner, c.Sel, len(c.Children), c.Marked)
+}
+
+// AddChild appends a child key. Duplicate insertion is a protocol bug and
+// panics.
+func (c *Capability) AddChild(k ddl.Key) {
+	for _, ch := range c.Children {
+		if ch == k {
+			panic(fmt.Sprintf("cap: duplicate child %v on %v", k, c.Key))
+		}
+	}
+	c.Children = append(c.Children, k)
+}
+
+// RemoveChild deletes a child key; removing an absent child is a no-op
+// (revocation may race with orphan cleanup).
+func (c *Capability) RemoveChild(k ddl.Key) {
+	for i, ch := range c.Children {
+		if ch == k {
+			c.Children = append(c.Children[:i], c.Children[i+1:]...)
+			return
+		}
+	}
+}
+
+// HasChild reports whether k is a child of c.
+func (c *Capability) HasChild(k ddl.Key) bool {
+	for _, ch := range c.Children {
+		if ch == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Store is one kernel's mapping database: all capabilities it owns, indexed
+// by DDL key and by (VPE, selector).
+type Store struct {
+	caps    map[ddl.Key]*Capability
+	byVPE   map[int]map[Selector]*Capability
+	nextSel map[int]Selector
+}
+
+// NewStore returns an empty mapping database.
+func NewStore() *Store {
+	return &Store{
+		caps:    make(map[ddl.Key]*Capability),
+		byVPE:   make(map[int]map[Selector]*Capability),
+		nextSel: make(map[int]Selector),
+	}
+}
+
+// Len returns the number of stored capabilities.
+func (s *Store) Len() int { return len(s.caps) }
+
+// AllocSel returns a fresh selector for the VPE's capability space.
+func (s *Store) AllocSel(vpe int) Selector {
+	s.nextSel[vpe]++
+	return s.nextSel[vpe]
+}
+
+// Insert adds a capability to the database. Inserting a duplicate key or a
+// (vpe, selector) collision panics: keys are minted uniquely and selectors
+// allocated by AllocSel, so either indicates kernel corruption.
+func (s *Store) Insert(c *Capability) {
+	if !c.Key.Valid() {
+		panic("cap: inserting capability with invalid key")
+	}
+	if _, dup := s.caps[c.Key]; dup {
+		panic(fmt.Sprintf("cap: duplicate key %v", c.Key))
+	}
+	vm := s.byVPE[c.Owner]
+	if vm == nil {
+		vm = make(map[Selector]*Capability)
+		s.byVPE[c.Owner] = vm
+	}
+	if c.Sel != NoSel {
+		if _, dup := vm[c.Sel]; dup {
+			panic(fmt.Sprintf("cap: duplicate selector %d for vpe %d", c.Sel, c.Owner))
+		}
+		vm[c.Sel] = c
+	}
+	s.caps[c.Key] = c
+}
+
+// Lookup returns the capability with the given key, or nil.
+func (s *Store) Lookup(k ddl.Key) *Capability { return s.caps[k] }
+
+// LookupSel returns the VPE's capability at sel, or nil.
+func (s *Store) LookupSel(vpe int, sel Selector) *Capability {
+	return s.byVPE[vpe][sel]
+}
+
+// Remove deletes a capability from the database. It does not touch tree
+// links; callers unlink first. Removing an absent key is a no-op.
+func (s *Store) Remove(k ddl.Key) {
+	c := s.caps[k]
+	if c == nil {
+		return
+	}
+	delete(s.caps, k)
+	if vm := s.byVPE[c.Owner]; vm != nil && c.Sel != NoSel {
+		delete(vm, c.Sel)
+	}
+}
+
+// VPECaps returns all capabilities of a VPE ordered by selector; the order
+// is deterministic so that bulk revocation (VPE exit) is reproducible.
+func (s *Store) VPECaps(vpe int) []*Capability {
+	vm := s.byVPE[vpe]
+	if len(vm) == 0 {
+		return nil
+	}
+	caps := make([]*Capability, 0, len(vm))
+	for _, c := range vm {
+		caps = append(caps, c)
+	}
+	sort.Slice(caps, func(i, j int) bool { return caps[i].Sel < caps[j].Sel })
+	return caps
+}
+
+// Keys returns all stored keys in ascending order (for tests/diagnostics).
+func (s *Store) Keys() []ddl.Key {
+	keys := make([]ddl.Key, 0, len(s.caps))
+	for k := range s.caps {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// CheckLocalInvariants validates the locally checkable tree invariants:
+//   - every child link whose target is local resolves, and the target's
+//     Parent points back;
+//   - every local capability with a local parent is in that parent's child
+//     list;
+//   - selector index and key index agree.
+//
+// It returns the first violation found, or nil. Links to other kernels
+// cannot be validated locally and are skipped.
+func (s *Store) CheckLocalInvariants() error {
+	for k, c := range s.caps {
+		if c.Key != k {
+			return fmt.Errorf("cap %v stored under wrong key %v", c.Key, k)
+		}
+		for _, ch := range c.Children {
+			if child := s.caps[ch]; child != nil && child.Parent != c.Key {
+				return fmt.Errorf("child %v of %v has parent %v", ch, c.Key, child.Parent)
+			}
+		}
+		if c.Parent != 0 {
+			if parent := s.caps[c.Parent]; parent != nil && !parent.HasChild(c.Key) {
+				return fmt.Errorf("cap %v not in parent %v child list", c.Key, c.Parent)
+			}
+		}
+		if c.Sel != NoSel {
+			if s.byVPE[c.Owner][c.Sel] != c {
+				return fmt.Errorf("cap %v selector index mismatch", c.Key)
+			}
+		}
+	}
+	for vpe, vm := range s.byVPE {
+		for sel, c := range vm {
+			if c.Owner != vpe || c.Sel != sel {
+				return fmt.Errorf("selector index corrupt for vpe %d sel %d", vpe, sel)
+			}
+			if s.caps[c.Key] != c {
+				return fmt.Errorf("selector index holds unmapped cap %v", c.Key)
+			}
+		}
+	}
+	return nil
+}

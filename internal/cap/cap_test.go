@@ -1,0 +1,207 @@
+package cap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ddl"
+	"repro/internal/dtu"
+)
+
+func memCap(g *ddl.Generator, vpe int, sel Selector) *Capability {
+	return &Capability{
+		Key:    g.Next(0, vpe, ddl.TypeMem),
+		Owner:  vpe,
+		Sel:    sel,
+		Object: &MemObject{PE: 1, Off: 0, Size: 4096, Perm: dtu.PermRW},
+		Perm:   dtu.PermRW,
+	}
+}
+
+func TestStoreInsertLookup(t *testing.T) {
+	s := NewStore()
+	g := ddl.NewGenerator()
+	c := memCap(g, 1, s.AllocSel(1))
+	s.Insert(c)
+	if s.Lookup(c.Key) != c {
+		t.Fatal("Lookup by key failed")
+	}
+	if s.LookupSel(1, c.Sel) != c {
+		t.Fatal("Lookup by selector failed")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if err := s.CheckLocalInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreRemove(t *testing.T) {
+	s := NewStore()
+	g := ddl.NewGenerator()
+	c := memCap(g, 1, s.AllocSel(1))
+	s.Insert(c)
+	s.Remove(c.Key)
+	if s.Lookup(c.Key) != nil || s.LookupSel(1, c.Sel) != nil {
+		t.Fatal("capability still visible after Remove")
+	}
+	s.Remove(c.Key) // removing absent key is a no-op
+}
+
+func TestStoreDuplicateKeyPanics(t *testing.T) {
+	s := NewStore()
+	g := ddl.NewGenerator()
+	c := memCap(g, 1, s.AllocSel(1))
+	s.Insert(c)
+	dup := *c
+	dup.Sel = s.AllocSel(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate key insert did not panic")
+		}
+	}()
+	s.Insert(&dup)
+}
+
+func TestStoreSelectorCollisionPanics(t *testing.T) {
+	s := NewStore()
+	g := ddl.NewGenerator()
+	a := memCap(g, 1, 5)
+	b := memCap(g, 1, 5)
+	s.Insert(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("selector collision did not panic")
+		}
+	}()
+	s.Insert(b)
+}
+
+func TestChildLinks(t *testing.T) {
+	g := ddl.NewGenerator()
+	parent := memCap(g, 1, 1)
+	child := memCap(g, 2, 1)
+	child.Parent = parent.Key
+	parent.AddChild(child.Key)
+	if !parent.HasChild(child.Key) {
+		t.Fatal("child not linked")
+	}
+	parent.RemoveChild(child.Key)
+	if parent.HasChild(child.Key) {
+		t.Fatal("child not removed")
+	}
+	parent.RemoveChild(child.Key) // absent removal is a no-op
+}
+
+func TestDuplicateChildPanics(t *testing.T) {
+	g := ddl.NewGenerator()
+	parent := memCap(g, 1, 1)
+	child := memCap(g, 2, 1)
+	parent.AddChild(child.Key)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate child did not panic")
+		}
+	}()
+	parent.AddChild(child.Key)
+}
+
+func TestVPECapsSorted(t *testing.T) {
+	s := NewStore()
+	g := ddl.NewGenerator()
+	sels := []Selector{5, 1, 9, 3}
+	for _, sel := range sels {
+		s.Insert(memCap(g, 7, sel))
+	}
+	caps := s.VPECaps(7)
+	if len(caps) != 4 {
+		t.Fatalf("len = %d", len(caps))
+	}
+	for i := 1; i < len(caps); i++ {
+		if caps[i-1].Sel >= caps[i].Sel {
+			t.Fatal("VPECaps not sorted by selector")
+		}
+	}
+	if s.VPECaps(99) != nil {
+		t.Fatal("unknown VPE returned caps")
+	}
+}
+
+func TestInvariantViolationDetected(t *testing.T) {
+	s := NewStore()
+	g := ddl.NewGenerator()
+	parent := memCap(g, 1, 1)
+	child := memCap(g, 2, 1)
+	child.Parent = parent.Key
+	// Corrupt: child claims parent, but parent does not list it.
+	s.Insert(parent)
+	s.Insert(child)
+	if err := s.CheckLocalInvariants(); err == nil {
+		t.Fatal("invariant violation not detected")
+	}
+	parent.AddChild(child.Key)
+	if err := s.CheckLocalInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectTypes(t *testing.T) {
+	objs := map[ddl.Type]Object{
+		ddl.TypeVPE:     &VPEObject{},
+		ddl.TypeMem:     &MemObject{},
+		ddl.TypeSend:    &SendObject{},
+		ddl.TypeRecv:    &RecvObject{},
+		ddl.TypeService: &ServiceObject{},
+		ddl.TypeSession: &SessionObject{},
+	}
+	for want, obj := range objs {
+		if obj.ObjType() != want {
+			t.Errorf("%T.ObjType() = %v, want %v", obj, obj.ObjType(), want)
+		}
+	}
+	c := &Capability{}
+	if c.Type() != ddl.TypeInvalid {
+		t.Error("nil object should give TypeInvalid")
+	}
+}
+
+// Property: after any sequence of inserts and removes, the local invariants
+// hold and lookups agree with a reference map.
+func TestStoreRandomOpsProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		g := ddl.NewGenerator()
+		ref := make(map[ddl.Key]*Capability)
+		var keys []ddl.Key
+		for i := 0; i < int(n); i++ {
+			if len(keys) == 0 || rng.Intn(3) > 0 {
+				vpe := rng.Intn(4)
+				c := memCap(g, vpe, s.AllocSel(vpe))
+				s.Insert(c)
+				ref[c.Key] = c
+				keys = append(keys, c.Key)
+			} else {
+				i := rng.Intn(len(keys))
+				k := keys[i]
+				s.Remove(k)
+				delete(ref, k)
+				keys = append(keys[:i], keys[i+1:]...)
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for k, c := range ref {
+			if s.Lookup(k) != c {
+				return false
+			}
+		}
+		return s.CheckLocalInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import "repro/internal/sim"
+
+// Inter-kernel calls (paper §4.1): kernels communicate via messages over
+// the NoC, adhering to a messaging protocol with per-pair FIFO ordering
+// (guaranteed by internal/noc) and a bounded number of in-flight messages
+// per kernel pair, so that the receiver's DTU message slots can never
+// overflow. Replies travel in slots reserved by the request (as in the M3
+// DTU design), so only requests count against the in-flight limit.
+
+// inflightTo returns the in-flight semaphore for requests to kernel dst.
+func (k *Kernel) inflightTo(dst int) *sim.Semaphore {
+	s := k.inflight[dst]
+	if s == nil {
+		s = sim.NewSemaphore(k.sys.Eng, MaxInflight)
+		k.inflight[dst] = s
+	}
+	return s
+}
+
+// nextSeq mints a request sequence number.
+func (k *Kernel) nextSeq() uint64 {
+	k.seq++
+	return k.seq
+}
+
+// ikSend transmits a request to kernel dst. The caller must hold the CPU
+// token; the in-flight slot is acquired at a preemption point (the CPU is
+// released while waiting for one). The request is matched with a reply via
+// its sequence number; the returned future completes when the reply
+// arrives.
+func (k *Kernel) ikSend(p *sim.Proc, dst int, req *ikcRequest) *sim.Future[*ikcReply] {
+	if dst == k.id {
+		panic("core: inter-kernel call to self")
+	}
+	k.exec(p, k.sys.Cost.IKCCompose)
+	req.Seq = k.nextSeq()
+	req.From = k.id
+	fut := sim.NewFuture[*ikcReply](k.sys.Eng)
+	k.pending[req.Seq] = fut
+	k.stats.IKCSent++
+
+	sem := k.inflightTo(dst)
+	if !sem.TryAcquire() {
+		k.releaseCPU()
+		sem.Acquire(p)
+		k.acquireCPU(p)
+	}
+	dk := k.sys.kernels[dst]
+	k.sys.Net.Send(k.pe, dk.pe, ikcMsgBytes, func() { dk.recvRequest(req) })
+	return fut
+}
+
+// ikCall performs a blocking inter-kernel call: send the request, release
+// the CPU (preemption point), wait for the reply.
+func (k *Kernel) ikCall(p *sim.Proc, dst int, req *ikcRequest) *ikcReply {
+	fut := k.ikSend(p, dst, req)
+	rep := blockOn(k, p, fut)
+	delete(k.pending, req.Seq)
+	return rep
+}
+
+// ikNotify sends a one-way notification (e.g. orphan unlink). It consumes
+// an in-flight slot like any request but nobody waits for a reply; the
+// receiver must not send one.
+func (k *Kernel) ikNotify(p *sim.Proc, dst int, req *ikcRequest) {
+	k.exec(p, k.sys.Cost.IKCCompose)
+	req.Seq = k.nextSeq()
+	req.From = k.id
+	k.stats.IKCSent++
+	sem := k.inflightTo(dst)
+	if !sem.TryAcquire() {
+		k.releaseCPU()
+		sem.Acquire(p)
+		k.acquireCPU(p)
+	}
+	dk := k.sys.kernels[dst]
+	k.sys.Net.Send(k.pe, dk.pe, ikcMsgBytes, func() { dk.recvRequest(req) })
+}
+
+// recvRequest runs at the receiving kernel when a request message arrives
+// (event context). Revoke requests go to the bounded revoke pool (at most
+// two threads, the paper's DoS defense); everything else to the general
+// inter-kernel pool.
+func (k *Kernel) recvRequest(req *ikcRequest) {
+	k.stats.IKCReceived++
+	job := func(p *sim.Proc) {
+		k.acquireCPU(p)
+		// Picking the message up frees its slot: return the in-flight
+		// credit to the sender.
+		src := k.sys.kernels[req.From]
+		k.sys.Eng.Schedule(0, func() { src.inflightTo(k.id).Release() })
+		k.exec(p, k.sys.Cost.IKCDispatch)
+		k.dispatchRequest(p, req)
+		k.releaseCPU()
+	}
+	if req.Kind == ikcRevoke || req.Kind == ikcRevokeBatch {
+		k.revokePool.submit(job)
+	} else {
+		k.ikcPool.submit(job)
+	}
+}
+
+// dispatchRequest routes a request to its handler. Handlers run on a kernel
+// thread with the CPU held and reply via ikReply (except notifications and
+// the continuation-based revoke).
+func (k *Kernel) dispatchRequest(p *sim.Proc, req *ikcRequest) {
+	switch req.Kind {
+	case ikcObtain:
+		k.handleObtainReq(p, req)
+	case ikcDelegate:
+		k.handleDelegateReq(p, req)
+	case ikcDelegateAck:
+		k.handleDelegateAck(p, req)
+	case ikcRevoke:
+		k.handleRevokeReq(p, req)
+	case ikcRevokeBatch:
+		k.handleRevokeBatchReq(p, req)
+	case ikcUnlinkChild:
+		k.handleUnlinkChild(p, req)
+	case ikcSession:
+		k.handleSessionReq(p, req)
+	case ikcObtainSess:
+		k.handleObtainSessReq(p, req)
+	case ikcDelegateSess:
+		k.handleDelegateSessReq(p, req)
+	default:
+		panic("core: unknown inter-kernel request kind")
+	}
+}
+
+// ikReply sends the reply for req back to its sender. The caller must hold
+// the CPU token. Replies travel in reserved slots and bypass the in-flight
+// limit.
+func (k *Kernel) ikReply(p *sim.Proc, req *ikcRequest, rep *ikcReply) {
+	k.exec(p, k.sys.Cost.IKCCompose)
+	rep.Seq = req.Seq
+	rep.From = k.id
+	src := k.sys.kernels[req.From]
+	k.sys.Net.Send(k.pe, src.pe, ikcRepBytes, func() { src.recvReply(rep) })
+}
+
+// ikReplyAsync sends a reply from event context (used by the
+// continuation-based revocation, which completes on message arrival rather
+// than on a thread). The compose cost is modeled as a delay before the
+// message leaves.
+func (k *Kernel) ikReplyAsync(req *ikcRequest, rep *ikcReply) {
+	rep.Seq = req.Seq
+	rep.From = k.id
+	src := k.sys.kernels[req.From]
+	k.stats.Busy += k.sys.Cost.IKCCompose
+	k.sys.Eng.Schedule(k.sys.Cost.IKCCompose, func() {
+		k.sys.Net.Send(k.pe, src.pe, ikcRepBytes, func() { src.recvReply(rep) })
+	})
+}
+
+// recvReply completes the pending future for a reply (event context).
+func (k *Kernel) recvReply(rep *ikcReply) {
+	fut := k.pending[rep.Seq]
+	if fut == nil {
+		panic("core: reply for unknown sequence number")
+	}
+	delete(k.pending, rep.Seq)
+	fut.Complete(rep)
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cap"
+	"repro/internal/dtu"
+	"repro/internal/sim"
+)
+
+// This file reproduces the paper's Table 2 — the interference analysis of
+// overlapping capability-modifying operations — as executable tests. Each
+// test provokes one cell of the matrix and asserts the protocol's required
+// outcome:
+//
+//	              2nd: Obtain      Delegate        Revoke/Crash
+//	1st: Obtain   Serialized       Serialized      Orphaned
+//	     Delegate Serialized       Serialized      Invalid
+//	     Revoke   Pointless        Pointless       Incomplete
+
+// TestInterferenceSerialized: overlapping obtains of the same capability
+// serialize at the owning kernel; both succeed and the tree is consistent.
+func TestInterferenceSerialized(t *testing.T) {
+	s := newTestSystem(t, 2, 4) // PEs 2,3 -> kernel 0; PEs 4,5 -> kernel 1
+	ready := sim.NewFuture[cap.Selector](s.Eng)
+	owner, _ := s.SpawnOn(2, "owner", func(v *VPE, p *sim.Proc) {
+		sel, _ := v.AllocMem(p, 4096, dtu.PermRW)
+		ready.Complete(sel)
+	})
+	errs := make([]error, 2)
+	for i, pe := range []int{3, 4} { // one local, one remote requester
+		i := i
+		s.SpawnOn(pe, "req", func(v *VPE, p *sim.Proc) {
+			sel := ready.Wait(p)
+			_, errs[i] = v.ObtainFrom(p, owner.ID, sel)
+		})
+	}
+	s.Run()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("requester %d: %v", i, err)
+		}
+	}
+	// The owner's capability must list exactly two children.
+	k := s.Kernel(0)
+	for _, key := range k.store.Keys() {
+		c := k.store.Lookup(key)
+		if _, ok := c.Object.(*cap.MemObject); ok && c.Parent == 0 {
+			if len(c.Children) != 2 {
+				t.Fatalf("root children = %d, want 2", len(c.Children))
+			}
+		}
+	}
+	checkAllInvariants(t, s)
+}
+
+// TestInterferenceOrphaned: the requester of a group-spanning obtain is
+// killed while the inter-kernel call is in flight. The owner's tree briefly
+// holds an orphaned child, which the requester's kernel removes via a
+// notification (paper §4.3.2, case 1).
+func TestInterferenceOrphaned(t *testing.T) {
+	s := newTestSystem(t, 2, 2)
+	ready := sim.NewFuture[cap.Selector](s.Eng)
+	var requester *VPE
+	owner, _ := s.SpawnOn(2, "owner", func(v *VPE, p *sim.Proc) {
+		// Kill the requester exactly while the owner is asked for consent —
+		// guaranteed to be inside the obtain's inter-kernel window.
+		v.OnExchange = func(q ExchangeQuery) ExchangeAnswer {
+			requester.Kill()
+			return ExchangeAnswer{Accept: true}
+		}
+		sel, _ := v.AllocMem(p, 4096, dtu.PermRW)
+		ready.Complete(sel)
+	})
+	var obtErr error
+	requester, _ = s.SpawnOn(3, "req", func(v *VPE, p *sim.Proc) {
+		sel := ready.Wait(p)
+		_, obtErr = v.ObtainFrom(p, owner.ID, sel)
+	})
+	s.Run()
+	if obtErr != ErrVPEGone {
+		t.Fatalf("obtain err = %v, want ErrVPEGone", obtErr)
+	}
+	// No orphan may remain: the owner's capability has no children and the
+	// requester's kernel holds no mem cap for it.
+	k0, k1 := s.Kernel(0), s.Kernel(1)
+	for _, key := range k0.store.Keys() {
+		c := k0.store.Lookup(key)
+		if _, ok := c.Object.(*cap.MemObject); ok && len(c.Children) != 0 {
+			t.Fatalf("orphaned child left behind: %v", c)
+		}
+	}
+	for _, c := range k1.store.VPECaps(requester.ID) {
+		if _, ok := c.Object.(*cap.MemObject); ok {
+			t.Fatalf("dead requester still owns %v", c)
+		}
+	}
+	if k0.Stats().Orphans+k1.Stats().Orphans == 0 {
+		t.Fatal("orphan cleanup not recorded")
+	}
+	checkAllInvariants(t, s)
+}
+
+// TestInterferenceInvalid: the delegator's capability is revoked while a
+// group-spanning delegate is in flight. Without the two-way handshake the
+// receiver would keep a live capability with no parent link; the handshake
+// must abort the delegation instead (paper §4.3.2, case 2).
+func TestInterferenceInvalid(t *testing.T) {
+	cost := DefaultCostModel()
+	cost.VPEAccept = 50_000 // widen the in-flight window so the revoke wins
+	s := MustNew(Config{Kernels: 2, UserPEs: 4, Cost: &cost})
+	defer s.Close()
+
+	rootReady := sim.NewFuture[cap.Selector](s.Eng)
+	chainReady := sim.NewFuture[cap.Selector](s.Eng)
+	revokeNow := sim.NewFuture[struct{}](s.Eng)
+
+	// Root owner (kernel 0): revokes the root when signalled.
+	rootOwner, _ := s.SpawnOn(2, "root", func(v *VPE, p *sim.Proc) {
+		sel, _ := v.AllocMem(p, 4096, dtu.PermRW)
+		rootReady.Complete(sel)
+		revokeNow.Wait(p)
+		if err := v.Revoke(p, sel); err != nil {
+			t.Errorf("revoke: %v", err)
+		}
+	})
+	// Receiver (kernel 1): triggers the root revocation from inside its
+	// consent handler, i.e. exactly during the delegate's handshake.
+	receiver, _ := s.SpawnOn(4, "receiver", func(v *VPE, p *sim.Proc) {
+		v.OnExchange = func(q ExchangeQuery) ExchangeAnswer {
+			if !revokeNow.Done() {
+				revokeNow.Complete(struct{}{})
+			}
+			return ExchangeAnswer{Accept: true}
+		}
+		p.Park()
+	})
+	// Delegator (kernel 0): obtains a child of the root, then delegates it
+	// across groups.
+	var delErr error
+	s.SpawnOn(3, "delegator", func(v *VPE, p *sim.Proc) {
+		rootSel := rootReady.Wait(p)
+		childSel, err := v.ObtainFrom(p, rootOwner.ID, rootSel)
+		if err != nil {
+			t.Errorf("obtain: %v", err)
+			return
+		}
+		chainReady.Complete(childSel)
+		_, delErr = v.DelegateTo(p, receiver.ID, childSel)
+	})
+	s.Run()
+
+	if delErr == nil {
+		t.Fatal("delegate succeeded although its parent was revoked mid-flight")
+	}
+	// The receiver must not hold any memory capability.
+	k1 := s.Kernel(1)
+	for _, c := range k1.store.VPECaps(receiver.ID) {
+		if _, ok := c.Object.(*cap.MemObject); ok {
+			t.Fatalf("invalid capability survived at receiver: %v", c)
+		}
+	}
+	// The whole mem subtree must be gone everywhere.
+	for ki, k := range s.kernels {
+		for _, key := range k.store.Keys() {
+			c := k.store.Lookup(key)
+			if _, ok := c.Object.(*cap.MemObject); ok {
+				t.Fatalf("kernel %d still holds %v", ki, c)
+			}
+		}
+	}
+	checkAllInvariants(t, s)
+}
+
+// TestInterferenceIncomplete: two revocations of overlapping subtrees
+// (A1 -> B2 -> C1, revoke A and revoke B concurrently) must both return
+// only after the entire affected subtree is deleted everywhere — no
+// acknowledgements of incomplete revokes (paper §4.3.1/4.3.3).
+func TestInterferenceIncomplete(t *testing.T) {
+	s := newTestSystem(t, 2, 3)
+	// A owned by vA on kernel 0, B by vB on kernel 1, C by vC on kernel 0.
+	futA := sim.NewFuture[cap.Selector](s.Eng)
+	futB := sim.NewFuture[cap.Selector](s.Eng)
+	futC := sim.NewFuture[struct{}](s.Eng)
+
+	var vA, vB, vC *VPE
+	var selA, selB cap.Selector
+	checkedA, checkedB := false, false
+
+	vA, _ = s.SpawnOn(2, "A", func(v *VPE, p *sim.Proc) {
+		sel, _ := v.AllocMem(p, 4096, dtu.PermRW)
+		selA = sel
+		futA.Complete(sel)
+		futC.Wait(p) // wait until the chain exists
+		if err := v.Revoke(p, sel); err != nil {
+			t.Errorf("revoke A: %v", err)
+			return
+		}
+		// On return, the *entire* chain must be gone from every kernel.
+		if n := memCapsEverywhere(s); n != 0 {
+			t.Errorf("revoke A acknowledged with %d caps left", n)
+		}
+		checkedA = true
+	})
+	vB, _ = s.SpawnOn(4, "B", func(v *VPE, p *sim.Proc) { // PE 4 -> kernel 1
+		a := futA.Wait(p)
+		sel, err := v.ObtainFrom(p, vA.ID, a)
+		if err != nil {
+			t.Errorf("obtain B: %v", err)
+			return
+		}
+		selB = sel
+		futB.Complete(sel)
+		futC.Wait(p)
+		if err := v.Revoke(p, sel); err != nil {
+			t.Errorf("revoke B: %v", err)
+			return
+		}
+		// B's subtree (B and C) must be gone everywhere.
+		if got := ownedMemCaps(s, vB.ID) + ownedMemCaps(s, vC.ID); got != 0 {
+			t.Errorf("revoke B acknowledged with its subtree alive (%d caps)", got)
+		}
+		checkedB = true
+	})
+	vC, _ = s.SpawnOn(3, "C", func(v *VPE, p *sim.Proc) { // PE 3 -> kernel 0
+		b := futB.Wait(p)
+		if _, err := v.ObtainFrom(p, vB.ID, b); err != nil {
+			t.Errorf("obtain C: %v", err)
+			return
+		}
+		futC.Complete(struct{}{})
+	})
+	s.Run()
+	_ = selA
+	_ = selB
+	if !checkedA || !checkedB {
+		t.Fatal("a revoke never returned")
+	}
+	if n := memCapsEverywhere(s); n != 0 {
+		t.Fatalf("%d mem caps survived", n)
+	}
+	checkAllInvariants(t, s)
+}
+
+// TestInterferencePointless: exchanges of capabilities that are in
+// revocation are denied immediately (the mark phase makes them visible),
+// preventing pointless exchanges.
+func TestInterferencePointless(t *testing.T) {
+	cost := DefaultCostModel()
+	cost.VPEAccept = 50_000 // keep the middle cap marked long enough
+	s := MustNew(Config{Kernels: 2, UserPEs: 4, Cost: &cost})
+	defer s.Close()
+
+	futRoot := sim.NewFuture[cap.Selector](s.Eng)
+	futMid := sim.NewFuture[cap.Selector](s.Eng)
+	goRevoke := sim.NewFuture[struct{}](s.Eng)
+
+	var rootV, midV *VPE
+	rootV, _ = s.SpawnOn(2, "root", func(v *VPE, p *sim.Proc) {
+		sel, _ := v.AllocMem(p, 4096, dtu.PermRW)
+		futRoot.Complete(sel)
+		goRevoke.Wait(p)
+		if err := v.Revoke(p, sel); err != nil {
+			t.Errorf("revoke: %v", err)
+		}
+	})
+	// Middle holder on the other kernel; obtains from root, then delegates
+	// onward to a slow-consenting peer to keep the revocation in flight.
+	slow, _ := s.SpawnOn(5, "slow", func(v *VPE, p *sim.Proc) {
+		v.OnExchange = func(q ExchangeQuery) ExchangeAnswer {
+			return ExchangeAnswer{Accept: true}
+		}
+		p.Park()
+	})
+	midV, _ = s.SpawnOn(4, "mid", func(v *VPE, p *sim.Proc) {
+		root := futRoot.Wait(p)
+		sel, err := v.ObtainFrom(p, rootV.ID, root)
+		if err != nil {
+			t.Errorf("obtain mid: %v", err)
+			return
+		}
+		futMid.Complete(sel)
+		goRevoke.Complete(struct{}{})
+		_ = slow
+	})
+	// A third party tries to obtain the middle capability while the
+	// revocation is running.
+	var lateErr error
+	s.SpawnOn(3, "late", func(v *VPE, p *sim.Proc) {
+		sel := futMid.Wait(p)
+		// Give the revocation a head start so the mark phase reached mid.
+		p.Sleep(30_000)
+		_, lateErr = v.ObtainFrom(p, midV.ID, sel)
+	})
+	s.Run()
+	if lateErr == nil {
+		t.Fatal("exchange of a capability in revocation succeeded")
+	}
+	if lateErr != ErrInRevocation && lateErr != ErrNoSuchCap {
+		t.Fatalf("err = %v, want ErrInRevocation (or ErrNoSuchCap after sweep)", lateErr)
+	}
+	if n := memCapsEverywhere(s); n != 0 {
+		t.Fatalf("%d mem caps survived the revoke", n)
+	}
+	checkAllInvariants(t, s)
+}
+
+// memCapsEverywhere counts memory capabilities across all kernels.
+func memCapsEverywhere(s *System) int {
+	n := 0
+	for _, k := range s.kernels {
+		for _, key := range k.store.Keys() {
+			if _, ok := k.store.Lookup(key).Object.(*cap.MemObject); ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ownedMemCaps counts memory capabilities owned by one VPE anywhere.
+func ownedMemCaps(s *System, vpe int) int {
+	n := 0
+	for _, k := range s.kernels {
+		for _, c := range k.store.VPECaps(vpe) {
+			if _, ok := c.Object.(*cap.MemObject); ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestExitRevokesEverything: a VPE's exit revokes all its capabilities,
+// including children delegated to other kernels.
+func TestExitRevokesEverything(t *testing.T) {
+	s := newTestSystem(t, 2, 2)
+	ready := sim.NewFuture[cap.Selector](s.Eng)
+	obtained := sim.NewFuture[struct{}](s.Eng)
+	owner, _ := s.SpawnOn(2, "owner", func(v *VPE, p *sim.Proc) {
+		sel, _ := v.AllocMem(p, 4096, dtu.PermRW)
+		ready.Complete(sel)
+		obtained.Wait(p)
+		v.Exit(p)
+	})
+	s.SpawnOn(3, "peer", func(v *VPE, p *sim.Proc) {
+		sel := ready.Wait(p)
+		if _, err := v.ObtainFrom(p, owner.ID, sel); err != nil {
+			t.Errorf("obtain: %v", err)
+		}
+		obtained.Complete(struct{}{})
+	})
+	s.Run()
+	if !owner.Exited() {
+		t.Fatal("owner not exited")
+	}
+	if n := memCapsEverywhere(s); n != 0 {
+		t.Fatalf("%d mem caps survived exit", n)
+	}
+	// The owner's entire capability space must be empty.
+	if got := len(s.Kernel(0).store.VPECaps(owner.ID)); got != 0 {
+		t.Fatalf("owner still holds %d caps", got)
+	}
+	checkAllInvariants(t, s)
+}

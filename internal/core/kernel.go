@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cap"
+	"repro/internal/ddl"
+	"repro/internal/dtu"
+	"repro/internal/sim"
+)
+
+// KernelStats counts per-kernel activity. Busy is the accumulated CPU time
+// of the kernel PE, which divided by elapsed time gives its utilization.
+type KernelStats struct {
+	Syscalls    uint64
+	IKCSent     uint64
+	IKCReceived uint64
+	Obtains     uint64
+	Delegates   uint64
+	Revokes     uint64
+	Sessions    uint64
+	CapsCreated uint64
+	CapsDeleted uint64
+	Orphans     uint64
+	Busy        sim.Duration
+}
+
+func (a *KernelStats) add(b KernelStats) {
+	a.Syscalls += b.Syscalls
+	a.IKCSent += b.IKCSent
+	a.IKCReceived += b.IKCReceived
+	a.Obtains += b.Obtains
+	a.Delegates += b.Delegates
+	a.Revokes += b.Revokes
+	a.Sessions += b.Sessions
+	a.CapsCreated += b.CapsCreated
+	a.CapsDeleted += b.CapsDeleted
+	a.Orphans += b.Orphans
+	a.Busy += b.Busy
+}
+
+// CapOps returns the number of capability-modifying and session operations,
+// the metric reported in the paper's Table 4.
+func (s KernelStats) CapOps() uint64 {
+	return s.Obtains + s.Delegates + s.Revokes + s.Sessions
+}
+
+// Kernel is one SemperOS microkernel, running on its dedicated kernel PE
+// and managing the capabilities of its PE group.
+//
+// The kernel is cooperatively multithreaded: its work runs in sim.Procs
+// that all contend for a single CPU token (the kernel PE has one core), and
+// release it only at preemption points — exactly the paper's §4.2 design.
+// The thread pool is bounded by Equation 1: V_group syscall threads plus
+// K_max * M_inflight inter-kernel threads (with at most two of the latter
+// budget used for incoming revoke requests).
+type Kernel struct {
+	id     int
+	pe     int
+	sys    *System
+	dtu    *dtu.DTU
+	store  *cap.Store
+	gen    *ddl.Generator
+	member *ddl.Membership
+	group  []int // user PEs of this group
+
+	cpu  *sim.Semaphore // the kernel PE's single core
+	link *sim.Semaphore // the group's shared mesh-region bandwidth
+
+	syscallPool    *pool
+	ikcPool        *pool
+	revokePool     *pool
+	completionPool *pool // revoke-reply processing ("main loop" work)
+
+	// inflight limits unprocessed requests per destination kernel.
+	inflight map[int]*sim.Semaphore
+	pending  map[uint64]*sim.Future[*ikcReply]
+	seq      uint64
+
+	// pendingDelegations holds capabilities created by the delegate
+	// two-way handshake that await the originator's acknowledgement.
+	pendingDelegations map[ddl.Key]*cap.Capability
+
+	// revocations maps every marked capability to the state of the
+	// revocation that marked it (paper Algorithm 1).
+	revocations map[ddl.Key]*revState
+
+	stats KernelStats
+}
+
+func newKernel(s *System, id int) *Kernel {
+	k := &Kernel{
+		id:                 id,
+		pe:                 id,
+		sys:                s,
+		dtu:                s.Fab.DTU(id),
+		store:              cap.NewStore(),
+		gen:                ddl.NewGenerator(),
+		member:             s.member.Clone(),
+		cpu:                sim.NewSemaphore(s.Eng, 1),
+		link:               sim.NewSemaphore(s.Eng, 1),
+		inflight:           make(map[int]*sim.Semaphore),
+		pending:            make(map[uint64]*sim.Future[*ikcReply]),
+		pendingDelegations: make(map[ddl.Key]*cap.Capability),
+		revocations:        make(map[ddl.Key]*revState),
+	}
+	for _, pe := range s.userPEs {
+		if s.member.KernelOf(pe) == id {
+			k.group = append(k.group, pe)
+		}
+	}
+	k.syscallPool = newPool(k, "sys", maxInt(len(k.group), 1))
+	k.ikcPool = newPool(k, "ikc", MaxKernels*MaxInflight)
+	k.revokePool = newPool(k, "rev", RevokeThreads)
+	// Configure the kernel DTU's syscall receive endpoints; messages are
+	// dispatched to the syscall pool.
+	for ep := 2; ep < 2+SyscallRecvEPs; ep++ {
+		if err := k.dtu.ConfigureRecv(k.dtu, ep, dtu.DefaultSlots, k.onSyscallMsg); err != nil {
+			panic(err)
+		}
+	}
+	return k
+}
+
+// ID returns the kernel's id.
+func (k *Kernel) ID() int { return k.id }
+
+// PE returns the kernel PE.
+func (k *Kernel) PE() int { return k.pe }
+
+// Group returns the user PEs managed by this kernel.
+func (k *Kernel) Group() []int { return k.group }
+
+// Stats returns a snapshot of the kernel's counters.
+func (k *Kernel) Stats() KernelStats { return k.stats }
+
+// Store exposes the mapping database for tests and diagnostics.
+func (k *Kernel) Store() *cap.Store { return k.store }
+
+// ThreadPoolSize returns the bound of Equation 1:
+// V_group + K_max * M_inflight.
+func (k *Kernel) ThreadPoolSize() int {
+	return len(k.group) + MaxKernels*MaxInflight
+}
+
+// exec charges d cycles of kernel CPU time. The caller must hold the CPU
+// token.
+func (k *Kernel) exec(p *sim.Proc, d sim.Duration) {
+	k.stats.Busy += d
+	p.Sleep(d)
+}
+
+// acquireCPU / releaseCPU bracket kernel work; release happens at
+// preemption points (waiting for an inter-kernel reply, a VPE consent
+// answer, or a service answer).
+func (k *Kernel) acquireCPU(p *sim.Proc) { k.cpu.Acquire(p) }
+func (k *Kernel) releaseCPU()            { k.cpu.Release() }
+
+// blockOn waits for a future at a preemption point: the CPU is released
+// while parked and re-acquired afterwards.
+func blockOn[T any](k *Kernel, p *sim.Proc, fut *sim.Future[T]) T {
+	k.releaseCPU()
+	v := fut.Wait(p)
+	k.acquireCPU(p)
+	return v
+}
+
+// pool is a lazily grown, bounded worker pool of kernel threads. Jobs are
+// closures run on cooperative procs.
+type pool struct {
+	k       *Kernel
+	name    string
+	max     int
+	spawned int
+	q       *sim.Queue[func(p *sim.Proc)]
+}
+
+func newPool(k *Kernel, name string, max int) *pool {
+	return &pool{k: k, name: name, max: max, q: sim.NewQueue[func(p *sim.Proc)](k.sys.Eng)}
+}
+
+// submit enqueues a job, spawning a worker if none is idle and the pool
+// limit permits. If the pool is saturated the job waits in the queue — the
+// kernel's defense against request floods (paper §4.2).
+func (pl *pool) submit(job func(p *sim.Proc)) {
+	if pl.q.Waiters() == 0 && pl.spawned < pl.max {
+		pl.spawned++
+		name := fmt.Sprintf("k%d/%s%d", pl.k.id, pl.name, pl.spawned)
+		pl.k.sys.Eng.Spawn(name, func(p *sim.Proc) {
+			for {
+				j := pl.q.Pop(p)
+				j(p)
+			}
+		})
+	}
+	pl.q.Push(job)
+}
+
+// onSyscallMsg is the DTU handler for the kernel's syscall endpoints.
+func (k *Kernel) onSyscallMsg(m *dtu.Message) {
+	k.syscallPool.submit(func(p *sim.Proc) {
+		k.acquireCPU(p)
+		k.handleSyscall(p, m)
+		k.releaseCPU()
+	})
+}
+
+// createVPE registers a VPE with its group kernel, configures its DTU and
+// starts the program. The setup costs kernel time, so spawning many VPEs
+// serializes at their group kernels (visible in the application benchmarks
+// as startup cost).
+func (k *Kernel) createVPE(v *VPE) {
+	k.syscallPool.submit(func(p *sim.Proc) {
+		k.acquireCPU(p)
+		k.exec(p, k.sys.Cost.VPECreate)
+		// Syscall channel: user EP 0 sends to one of the kernel's syscall
+		// endpoints; one credit models the single outstanding syscall.
+		sysEP := 2 + (v.PE % SyscallRecvEPs)
+		must(v.dtu.ConfigureSend(k.dtu, vpeSyscallSendEP, k.pe, sysEP, 1, uint64(v.ID)))
+		must(v.dtu.ConfigureRecv(k.dtu, vpeSyscallReplyEP, 2, nil))
+		must(v.dtu.ConfigureRecv(k.dtu, vpeServiceReplyEP, 2, nil))
+		v.dtu.Downgrade()
+		// The VPE's root capability: control over itself.
+		vcap := &cap.Capability{
+			Key:    k.gen.Next(v.PE, v.ID, ddl.TypeVPE),
+			Owner:  v.ID,
+			Sel:    k.store.AllocSel(v.ID),
+			Object: &cap.VPEObject{VPE: v.ID, PE: v.PE},
+			Perm:   dtu.PermRW,
+		}
+		k.store.Insert(vcap)
+		k.stats.CapsCreated++
+		v.selfSel = vcap.Sel
+		k.releaseCPU()
+		v.start()
+	})
+}
+
+// vpeOf returns the VPE for a global id if it is local to this kernel.
+func (k *Kernel) vpeOf(id int) *VPE {
+	if id < 0 || id >= len(k.sys.vpes) {
+		return nil
+	}
+	v := k.sys.vpes[id]
+	if v == nil || v.kernel != k {
+		return nil
+	}
+	return v
+}
+
+// askVPE queries a local VPE for consent to a capability exchange (paper
+// Fig. 3 steps A.2/A.3). The kernel releases its CPU while the query
+// travels to the user PE and back.
+func (k *Kernel) askVPE(p *sim.Proc, v *VPE, q ExchangeQuery) bool {
+	fut := sim.NewFuture[bool](k.sys.Eng)
+	cost := k.sys.Cost
+	k.sys.Net.Send(k.pe, v.PE, vpeQueryBytes, func() {
+		// The VPE's exchange handler answers after its decision time.
+		ans := v.answerExchange(q)
+		k.sys.Eng.Schedule(cost.VPEAccept, func() {
+			k.sys.Net.Send(v.PE, k.pe, 16, func() { fut.Complete(ans.Accept) })
+		})
+	})
+	return blockOn(k, p, fut)
+}
+
+// mintKey creates a fresh DDL key whose partition belongs to this kernel.
+func (k *Kernel) mintKey(creatorPE, creatorVPE int, typ ddl.Type) ddl.Key {
+	return k.gen.Next(creatorPE, creatorVPE, typ)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

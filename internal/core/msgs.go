@@ -1,0 +1,198 @@
+package core
+
+import (
+	"repro/internal/cap"
+	"repro/internal/ddl"
+	"repro/internal/dtu"
+)
+
+// Errno is the error code space shared by system calls and inter-kernel
+// calls.
+type Errno uint8
+
+// Error codes.
+const (
+	OK Errno = iota
+	ErrNoSuchCap
+	ErrDenied
+	ErrInRevocation
+	ErrVPEGone
+	ErrNoService
+	ErrBadArgs
+	ErrOutOfMem
+	ErrExists
+)
+
+func (e Errno) Error() string {
+	switch e {
+	case OK:
+		return "ok"
+	case ErrNoSuchCap:
+		return "no such capability"
+	case ErrDenied:
+		return "denied"
+	case ErrInRevocation:
+		return "capability is being revoked"
+	case ErrVPEGone:
+		return "VPE has exited"
+	case ErrNoService:
+		return "no such service"
+	case ErrBadArgs:
+		return "bad arguments"
+	case ErrOutOfMem:
+		return "out of memory"
+	case ErrExists:
+		return "already exists"
+	default:
+		return "unknown error"
+	}
+}
+
+// Err converts an Errno into an error (nil for OK).
+func (e Errno) Err() error {
+	if e == OK {
+		return nil
+	}
+	return e
+}
+
+// sysKind enumerates the system calls.
+type sysKind uint8
+
+const (
+	sysAllocMem sysKind = iota
+	sysDeriveMem
+	sysObtainFrom
+	sysDelegateTo
+	sysRevoke
+	sysCreateRgate
+	sysCreateSession
+	sysObtainSess
+	sysDelegateSess
+	sysActivate
+	sysRegisterService
+	sysExit
+	sysNoop
+)
+
+func (k sysKind) String() string {
+	names := [...]string{
+		"allocmem", "derivemem", "obtainfrom", "delegateto", "revoke",
+		"creatergate", "createsession", "obtainsess", "delegatesess",
+		"activate", "registerservice", "exit", "noop",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "unknown"
+}
+
+// sysRequest is the payload of a syscall message from a VPE to its kernel.
+type sysRequest struct {
+	Kind sysKind
+	VPE  int // issuing VPE
+
+	Sel       cap.Selector // primary capability selector
+	TargetVPE int          // peer VPE for direct exchanges
+	TargetSel cap.Selector // peer selector for direct exchanges
+	Size      uint64       // allocation size / derive length
+	Off       uint64       // derive offset
+	EP        int          // endpoint index for activate / rgate
+	Perm      dtu.Perm
+	Name      string // service name
+	Args      any    // opaque protocol arguments (service-defined)
+}
+
+// sysReply is the payload of a syscall reply.
+type sysReply struct {
+	Err  Errno
+	Sel  cap.Selector
+	Args any
+}
+
+// ikcKind enumerates the inter-kernel calls. They fall into the paper's
+// three functional groups: startup/shutdown (handled at boot in this
+// implementation), service connections (ikcSession, ikcObtainSess,
+// ikcDelegateSess) and capability exchange/revocation (the rest).
+type ikcKind uint8
+
+const (
+	ikcObtain ikcKind = iota
+	ikcDelegate
+	ikcDelegateAck
+	ikcRevoke
+	ikcRevokeReply // carried as a reply, listed for stats symmetry
+	ikcUnlinkChild
+	ikcSession
+	ikcObtainSess
+	ikcDelegateSess
+	ikcRevokeBatch
+)
+
+func (k ikcKind) String() string {
+	names := [...]string{
+		"obtain", "delegate", "delegate-ack", "revoke", "revoke-reply",
+		"unlink-child", "session", "obtain-sess", "delegate-sess",
+		"revoke-batch",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "unknown"
+}
+
+// ikcRequest is the payload of an inter-kernel request message.
+type ikcRequest struct {
+	Seq  uint64
+	From int // sender kernel id
+	Kind ikcKind
+
+	Key    ddl.Key      // primary capability (owner side)
+	Keys   []ddl.Key    // batched revocation targets (ikcRevokeBatch)
+	Child  ddl.Key      // child capability key (acks, unlinks, revokes)
+	VPE    int          // VPE the operation acts for
+	Sel    cap.Selector // selector at the owner side (direct exchange)
+	Perm   dtu.Perm
+	Ident  uint64 // session identifier for session-scoped calls
+	Ok     bool   // delegate-ack verdict
+	Object cap.Object
+	Args   any
+
+	// ChildPE/ChildVPE/ChildObj are the requester-minted child identity;
+	// the owner composes the final child key from them once the object type
+	// is known, so both kernels agree on the key with one round trip.
+	ChildPE  int
+	ChildVPE int
+	ChildObj uint64
+}
+
+// ikcReply is the payload of an inter-kernel reply message.
+type ikcReply struct {
+	Seq  uint64
+	From int
+	Err  Errno
+
+	Key    ddl.Key
+	Object cap.Object
+	Perm   dtu.Perm
+	Ident  uint64
+	Args   any
+}
+
+// ExchangeQuery is delivered to a VPE when another VPE wants to exchange a
+// capability with it (paper Fig. 3, steps A.2/B.3: the kernel asks the
+// other party for consent).
+type ExchangeQuery struct {
+	// Obtain is true for an obtain (the peer takes a capability from this
+	// VPE), false for a delegate (the peer pushes one to this VPE).
+	Obtain bool
+	// PeerVPE is the global id of the initiating VPE.
+	PeerVPE int
+	// Sel is the local selector involved (source for obtain).
+	Sel cap.Selector
+}
+
+// ExchangeAnswer is the VPE's verdict on an ExchangeQuery.
+type ExchangeAnswer struct {
+	Accept bool
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"repro/internal/cap"
+	"repro/internal/ddl"
+	"repro/internal/sim"
+)
+
+// Distributed revocation (paper §4.3.3, Algorithm 1). Revocation runs in
+// two phases, similar to mark-and-sweep:
+//
+//  1. Mark: walk the capability tree, mark local capabilities and send
+//     inter-kernel revoke requests for remote children, counting
+//     outstanding replies.
+//  2. Sweep: when the last outstanding reply arrives, delete the local
+//     subtree and notify the initiator (wake the syscall thread) or reply
+//     to the requesting kernel.
+//
+// Incoming revoke requests are handled by at most RevokeThreads kernel
+// threads, and those threads never pause waiting for replies — completion
+// is continuation-based — so malicious applications cannot exhaust the
+// kernel's thread pool with deep cross-kernel capability chains (the DoS
+// defense of §4.3.3). Marked capabilities immediately refuse further
+// exchanges, preventing "pointless" exchanges, and a second revocation
+// reaching an already-marked capability joins the running one instead of
+// acknowledging an incomplete revoke.
+type revState struct {
+	root *cap.Capability
+	// outstanding counts unanswered revoke requests (plus dependencies on
+	// overlapping local revocations).
+	outstanding int
+	// sending is true during the mark phase; completion is deferred until
+	// it ends, so an early reply cannot trigger a premature sweep.
+	sending bool
+	done    bool
+	// marked are the keys marked under this state, for map cleanup.
+	marked []ddl.Key
+	// pendingRemote collects remote children during the mark phase when
+	// batching is enabled; they are flushed as one request per kernel.
+	pendingRemote []remoteChild
+	// waiters run (on the finishing proc, CPU held) after the sweep.
+	waiters []func(p *sim.Proc)
+}
+
+type remoteChild struct {
+	kernel int
+	key    ddl.Key
+}
+
+// sysRevoke is the syscall entry point.
+func (k *Kernel) sysRevoke(p *sim.Proc, req *sysRequest) *sysReply {
+	c := k.lookupSel(p, req.VPE, req.Sel)
+	if c == nil {
+		return &sysReply{Err: ErrNoSuchCap}
+	}
+	k.stats.Revokes++
+	k.revokeSubtree(p, c)
+	return &sysReply{}
+}
+
+// revokeSubtree revokes the subtree rooted at c and blocks until the
+// revocation is complete everywhere — the paper's semantics: a completed
+// revoke is indeed completed (no "Incomplete" acknowledgements).
+func (k *Kernel) revokeSubtree(p *sim.Proc, c *cap.Capability) {
+	if c.Marked {
+		// Join the revocation already running for this capability.
+		rs := k.revocations[c.Key]
+		if rs == nil {
+			return // already swept
+		}
+		fut := sim.NewFuture[struct{}](k.sys.Eng)
+		rs.waiters = append(rs.waiters, func(*sim.Proc) { fut.Complete(struct{}{}) })
+		blockOn(k, p, fut)
+		return
+	}
+	rs := &revState{root: c, sending: true}
+	parentKey := c.Parent
+	k.revokeChildren(p, c, rs)
+	k.flushRevokeBatches(p, rs)
+	rs.sending = false
+	// Unlink the root from its parent (the parent survives this revoke).
+	if parentKey != 0 {
+		k.exec(p, k.sys.Cost.DDLDecode)
+		if owner := k.member.KernelOfKey(parentKey); owner == k.id {
+			if parent := k.store.Lookup(parentKey); parent != nil && !parent.Marked {
+				parent.RemoveChild(c.Key)
+				k.exec(p, k.sys.Cost.CapLink)
+			}
+		} else {
+			k.ikNotify(p, owner, &ikcRequest{Kind: ikcUnlinkChild, Key: parentKey, Child: c.Key})
+		}
+	}
+	if rs.outstanding == 0 {
+		k.finishRevocation(p, rs)
+		return
+	}
+	fut := sim.NewFuture[struct{}](k.sys.Eng)
+	rs.waiters = append(rs.waiters, func(*sim.Proc) { fut.Complete(struct{}{}) })
+	blockOn(k, p, fut)
+}
+
+// revokeChildren is phase one: mark the local subtree and fan out
+// inter-kernel requests for remote children (Algorithm 1,
+// revoke_children).
+func (k *Kernel) revokeChildren(p *sim.Proc, c *cap.Capability, rs *revState) {
+	c.Marked = true
+	k.revocations[c.Key] = rs
+	rs.marked = append(rs.marked, c.Key)
+	k.exec(p, k.sys.Cost.RevokeMark)
+
+	children := make([]ddl.Key, len(c.Children))
+	copy(children, c.Children)
+	for _, childKey := range children {
+		k.exec(p, k.sys.Cost.DDLDecode)
+		owner := k.member.KernelOfKey(childKey)
+		if owner == k.id {
+			child := k.store.Lookup(childKey)
+			if child == nil {
+				continue // already revoked (e.g. overlapping sweep)
+			}
+			if child.Marked {
+				// Overlapping revocation: our subtree is complete only when
+				// that one is. Count it like an outstanding reply.
+				other := k.revocations[childKey]
+				if other != nil && other != rs {
+					rs.outstanding++
+					other.waiters = append(other.waiters, func(p2 *sim.Proc) {
+						k.revokeReplyArrived(p2, rs)
+					})
+				}
+				continue
+			}
+			k.revokeChildren(p, child, rs)
+		} else if k.sys.cfg.RevokeBatching {
+			rs.pendingRemote = append(rs.pendingRemote, remoteChild{kernel: owner, key: childKey})
+		} else {
+			rs.outstanding++
+			k.sendRevokeRequest(p, owner, childKey, rs)
+		}
+	}
+}
+
+// flushRevokeBatches groups the remote children collected during the mark
+// phase by owning kernel and sends one batched revoke request per kernel —
+// the paper's proposed message-batching optimization (§5.2). Without
+// batching it is a no-op (requests were sent during the walk).
+func (k *Kernel) flushRevokeBatches(p *sim.Proc, rs *revState) {
+	if len(rs.pendingRemote) == 0 {
+		return
+	}
+	batches := make(map[int][]ddl.Key)
+	var order []int
+	for _, rc := range rs.pendingRemote {
+		if _, seen := batches[rc.kernel]; !seen {
+			order = append(order, rc.kernel)
+		}
+		batches[rc.kernel] = append(batches[rc.kernel], rc.key)
+	}
+	rs.pendingRemote = nil
+	for _, dst := range order {
+		keys := batches[dst]
+		rs.outstanding++
+		fut := k.ikSend(p, dst, &ikcRequest{Kind: ikcRevokeBatch, Keys: keys})
+		fut.OnComplete(func(*ikcReply) { k.compSubmit(rs) })
+	}
+}
+
+// sendRevokeRequest fires an inter-kernel revoke request without blocking
+// on the reply; the reply decrements the outstanding counter and may
+// trigger the sweep (Algorithm 1, receive_revoke_reply).
+func (k *Kernel) sendRevokeRequest(p *sim.Proc, dst int, key ddl.Key, rs *revState) {
+	fut := k.ikSend(p, dst, &ikcRequest{Kind: ikcRevoke, Key: key})
+	fut.OnComplete(func(*ikcReply) {
+		// Event context: hand completion to a kernel thread.
+		k.compSubmit(rs)
+	})
+}
+
+// compSubmit schedules completion processing of one revoke reply on the
+// kernel CPU.
+func (k *Kernel) compSubmit(rs *revState) {
+	k.compPool().submit(func(p *sim.Proc) {
+		k.acquireCPU(p)
+		k.revokeReplyArrived(p, rs)
+		k.releaseCPU()
+	})
+}
+
+// compPool lazily creates the completion pool ("main loop" processing of
+// revoke replies).
+func (k *Kernel) compPool() *pool {
+	if k.completionPool == nil {
+		k.completionPool = newPool(k, "cmp", 1)
+	}
+	return k.completionPool
+}
+
+// revokeReplyArrived accounts one completed child revocation and sweeps if
+// it was the last.
+func (k *Kernel) revokeReplyArrived(p *sim.Proc, rs *revState) {
+	rs.outstanding--
+	if rs.outstanding < 0 {
+		panic("core: negative outstanding revoke count")
+	}
+	if rs.outstanding == 0 && !rs.sending && !rs.done {
+		k.finishRevocation(p, rs)
+	}
+}
+
+// finishRevocation is phase two: delete the local subtree and run the
+// waiters (waking the initiating syscall thread and/or replying to
+// requesting kernels).
+func (k *Kernel) finishRevocation(p *sim.Proc, rs *revState) {
+	if rs.done {
+		return
+	}
+	rs.done = true
+	k.deleteTree(p, rs.root, rs)
+	for _, key := range rs.marked {
+		if k.revocations[key] == rs {
+			delete(k.revocations, key)
+		}
+	}
+	waiters := rs.waiters
+	rs.waiters = nil
+	for _, w := range waiters {
+		w(p)
+	}
+}
+
+// deleteTree removes the local capabilities of rs's subtree. Children
+// handled by other kernels (or by overlapping local revocations) are
+// deleted by their respective owners.
+func (k *Kernel) deleteTree(p *sim.Proc, c *cap.Capability, rs *revState) {
+	if k.store.Lookup(c.Key) == nil {
+		return
+	}
+	for _, childKey := range c.Children {
+		if k.member.KernelOfKey(childKey) != k.id {
+			continue
+		}
+		if k.revocations[childKey] != rs {
+			continue // owned by an overlapping revocation
+		}
+		if child := k.store.Lookup(childKey); child != nil {
+			k.deleteTree(p, child, rs)
+		}
+	}
+	k.exec(p, k.sys.Cost.RevokeDelete)
+	k.store.Remove(c.Key)
+	k.stats.CapsDeleted++
+	// Invalidate any user endpoint configured from this capability so the
+	// resource becomes inaccessible (enforcement).
+	k.invalidateEPs(c)
+}
+
+// handleRevokeReq processes an incoming revoke request (Algorithm 1,
+// receive_revoke_request). It runs on one of the (at most two) revoke
+// threads and never pauses for replies: if remote children remain, it
+// registers a continuation and returns, keeping the thread count fixed.
+func (k *Kernel) handleRevokeReq(p *sim.Proc, req *ikcRequest) {
+	k.exec(p, k.sys.Cost.CapLookup+k.sys.Cost.DDLDecode)
+	c := k.store.Lookup(req.Key)
+	if c == nil {
+		// Already revoked; confirm (idempotent).
+		k.ikReply(p, req, &ikcReply{})
+		return
+	}
+	if c.Marked {
+		// Join the running revocation; reply when it completes. Replying
+		// now would acknowledge an incomplete revoke ("Incomplete").
+		rs := k.revocations[req.Key]
+		if rs == nil {
+			k.ikReply(p, req, &ikcReply{})
+			return
+		}
+		rs.waiters = append(rs.waiters, func(p2 *sim.Proc) {
+			k.ikReplyAsync(req, &ikcReply{})
+		})
+		return
+	}
+	rs := &revState{root: c, sending: true}
+	k.revokeChildren(p, c, rs)
+	k.flushRevokeBatches(p, rs)
+	rs.sending = false
+	if rs.outstanding == 0 {
+		k.finishRevocation(p, rs)
+		k.ikReply(p, req, &ikcReply{})
+		return
+	}
+	rs.waiters = append(rs.waiters, func(p2 *sim.Proc) {
+		k.ikReplyAsync(req, &ikcReply{})
+	})
+}
+
+// handleRevokeBatchReq processes a batched revoke request: each key is
+// revoked like a single ikcRevoke target; the reply is sent once every
+// key's subtree is gone. Like single revokes, the handler never pauses for
+// remote children — completion is continuation-based.
+func (k *Kernel) handleRevokeBatchReq(p *sim.Proc, req *ikcRequest) {
+	outstanding := 0
+	done := false
+	finish := func() {
+		k.ikReplyAsync(req, &ikcReply{})
+	}
+	for _, key := range req.Keys {
+		k.exec(p, k.sys.Cost.CapLookup+k.sys.Cost.DDLDecode)
+		c := k.store.Lookup(key)
+		if c == nil {
+			continue // already revoked
+		}
+		if c.Marked {
+			if rs := k.revocations[key]; rs != nil {
+				outstanding++
+				rs.waiters = append(rs.waiters, func(*sim.Proc) {
+					outstanding--
+					if outstanding == 0 && done {
+						finish()
+					}
+				})
+			}
+			continue
+		}
+		rs := &revState{root: c, sending: true}
+		k.revokeChildren(p, c, rs)
+		k.flushRevokeBatches(p, rs)
+		rs.sending = false
+		if rs.outstanding == 0 {
+			k.finishRevocation(p, rs)
+			continue
+		}
+		outstanding++
+		rs.waiters = append(rs.waiters, func(*sim.Proc) {
+			outstanding--
+			if outstanding == 0 && done {
+				finish()
+			}
+		})
+	}
+	done = true
+	if outstanding == 0 {
+		k.ikReply(p, req, &ikcReply{})
+	}
+}
+
+// invalidateEPs resets user DTU endpoints configured from a revoked
+// capability. The scan is bookkeeping-free: we only reset endpoints of the
+// owner VPE whose configuration matches the capability's object.
+func (k *Kernel) invalidateEPs(c *cap.Capability) {
+	v := k.vpeOf(c.Owner)
+	if v == nil {
+		return
+	}
+	if _, ok := c.Object.(*cap.MemObject); ok {
+		for ep := vpeFirstMemEP; ep <= vpeLastMemEP; ep++ {
+			if act, used := v.activeEPs[ep]; used && act == c.Sel {
+				_ = v.dtu.Invalidate(k.dtu, ep)
+				delete(v.activeEPs, ep)
+			}
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ddl"
+	"repro/internal/dtu"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Config describes a SemperOS machine: how many kernels (and therefore PE
+// groups), user PEs and memory PEs to instantiate.
+type Config struct {
+	// Kernels is the number of kernel PEs / PE groups (1..MaxKernels).
+	Kernels int
+	// UserPEs is the number of user PEs, split into contiguous groups.
+	UserPEs int
+	// MemPEs is the number of DRAM PEs (default 1).
+	MemPEs int
+	// MemBytes is the DRAM capacity per memory PE (default 64 MiB).
+	MemBytes int
+	// Noc overrides the NoC configuration (nil uses noc.DefaultConfig).
+	Noc *noc.Config
+	// Cost overrides the cost model (nil uses DefaultCostModel).
+	Cost *CostModel
+	// RevokeBatching enables the paper's proposed optimization (§5.2,
+	// "Tree revocation"): instead of one inter-kernel message per remote
+	// child, the kernel batches all children owned by the same kernel into
+	// a single revoke request.
+	RevokeBatching bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Kernels <= 0 {
+		c.Kernels = 1
+	}
+	if c.MemPEs <= 0 {
+		c.MemPEs = 1
+	}
+	if c.MemBytes <= 0 {
+		c.MemBytes = 64 << 20
+	}
+	return c
+}
+
+// Validate reports configuration errors against the architectural limits.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Kernels > MaxKernels {
+		return fmt.Errorf("core: %d kernels exceed the maximum of %d", c.Kernels, MaxKernels)
+	}
+	if c.UserPEs <= 0 {
+		return errors.New("core: at least one user PE is required")
+	}
+	perKernel := (c.UserPEs + c.Kernels - 1) / c.Kernels
+	if perKernel > MaxPEsPerKernel {
+		return fmt.Errorf("core: %d PEs per kernel exceed the maximum of %d", perKernel, MaxPEsPerKernel)
+	}
+	return nil
+}
+
+// System is one simulated SemperOS machine: the NoC, all PEs with their
+// DTUs, the kernels, and the global service directory.
+type System struct {
+	cfg  Config
+	Eng  *sim.Engine
+	Net  *noc.Network
+	Fab  *dtu.Fabric
+	Cost CostModel
+
+	kernels []*Kernel
+	member  *ddl.Membership
+	userPEs []int
+	memPEs  []int
+	vpes    []*VPE
+	peToVPE []*VPE
+
+	services map[string]*serviceEntry
+	dramNext []uint64
+	dramRR   int
+	nextVPE  int
+}
+
+type serviceEntry struct {
+	name   string
+	key    ddl.Key
+	kernel int
+	vpe    *VPE
+}
+
+// NewSystem builds and boots a machine. PE numbering: kernels occupy PEs
+// [0, Kernels), user PEs follow, memory PEs come last. User PEs are assigned
+// to kernels in contiguous blocks (the PE groups).
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := cfg.Kernels + cfg.UserPEs + cfg.MemPEs
+	eng := sim.NewEngine()
+	ncfg := noc.DefaultConfig(nodes)
+	if cfg.Noc != nil {
+		ncfg = *cfg.Noc
+		ncfg.Nodes = nodes
+	}
+	cost := DefaultCostModel()
+	if cfg.Cost != nil {
+		cost = *cfg.Cost
+	}
+	net := noc.New(eng, ncfg)
+	fab := dtu.NewFabric(eng, net)
+	s := &System{
+		cfg:      cfg,
+		Eng:      eng,
+		Net:      net,
+		Fab:      fab,
+		Cost:     cost,
+		member:   ddl.NewMembership(nodes),
+		peToVPE:  make([]*VPE, nodes),
+		services: make(map[string]*serviceEntry),
+		dramNext: make([]uint64, cfg.MemPEs),
+	}
+	// Kernel PEs.
+	for k := 0; k < cfg.Kernels; k++ {
+		fab.Add(k, 0)
+		s.member.Assign(k, k)
+	}
+	// User PEs, grouped in contiguous blocks.
+	for u := 0; u < cfg.UserPEs; u++ {
+		pe := cfg.Kernels + u
+		fab.Add(pe, 4096) // small scratch memory per user PE
+		s.userPEs = append(s.userPEs, pe)
+		s.member.Assign(pe, u*cfg.Kernels/cfg.UserPEs)
+	}
+	// Memory PEs, managed by kernel 0.
+	for m := 0; m < cfg.MemPEs; m++ {
+		pe := cfg.Kernels + cfg.UserPEs + m
+		fab.Add(pe, cfg.MemBytes)
+		s.memPEs = append(s.memPEs, pe)
+		s.member.Assign(pe, 0)
+		fab.DTU(pe).Downgrade()
+	}
+	// Boot the kernels; each gets its own membership replica.
+	for k := 0; k < cfg.Kernels; k++ {
+		s.kernels = append(s.kernels, newKernel(s, k))
+	}
+	return s, nil
+}
+
+// MustNew is NewSystem for tests and examples where the config is constant.
+func MustNew(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the (defaulted) configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Kernel returns kernel k.
+func (s *System) Kernel(k int) *Kernel { return s.kernels[k] }
+
+// Kernels returns the number of kernels.
+func (s *System) Kernels() int { return len(s.kernels) }
+
+// KernelOfPE returns the kernel managing the given PE.
+func (s *System) KernelOfPE(pe int) *Kernel {
+	k := s.member.KernelOf(pe)
+	if k < 0 {
+		return nil
+	}
+	return s.kernels[k]
+}
+
+// UserPEs returns the user PE ids in ascending order.
+func (s *System) UserPEs() []int { return s.userPEs }
+
+// VPEs returns all spawned VPEs in spawn order.
+func (s *System) VPEs() []*VPE { return s.vpes }
+
+// Run executes the simulation until no events remain.
+func (s *System) Run() { s.Eng.Run() }
+
+// RunFor advances the simulation by d cycles.
+func (s *System) RunFor(d sim.Duration) { s.Eng.RunUntil(s.Eng.Now() + d) }
+
+// Now returns the current virtual time.
+func (s *System) Now() sim.Time { return s.Eng.Now() }
+
+// Close terminates the simulation, unwinding all parked processes.
+func (s *System) Close() { s.Eng.Kill() }
+
+// allocDRAM carves size bytes out of a memory PE (round-robin across memory
+// PEs) and returns its PE id and offset.
+func (s *System) allocDRAM(size uint64) (pe int, off uint64, err error) {
+	for try := 0; try < len(s.memPEs); try++ {
+		i := (s.dramRR + try) % len(s.memPEs)
+		if s.dramNext[i]+size <= uint64(s.cfg.MemBytes) {
+			off = s.dramNext[i]
+			s.dramNext[i] += size
+			s.dramRR = (i + 1) % len(s.memPEs)
+			return s.memPEs[i], off, nil
+		}
+	}
+	return 0, 0, errors.New("core: out of DRAM")
+}
+
+// Service returns the directory entry for a registered service, or nil.
+func (s *System) service(name string) *serviceEntry { return s.services[name] }
+
+// TotalStats sums the per-kernel statistics.
+func (s *System) TotalStats() KernelStats {
+	var t KernelStats
+	for _, k := range s.kernels {
+		t.add(k.stats)
+	}
+	return t
+}
+
+// Spawn creates a VPE running prog on the first free user PE.
+func (s *System) Spawn(name string, prog Program) (*VPE, error) {
+	for _, pe := range s.userPEs {
+		if s.peToVPE[pe] == nil {
+			return s.SpawnOn(pe, name, prog)
+		}
+	}
+	return nil, errors.New("core: no free user PE")
+}
+
+// SpawnOn creates a VPE running prog on a specific user PE. The VPE is set
+// up by the PE's group kernel (costing kernel time) before prog starts.
+func (s *System) SpawnOn(pe int, name string, prog Program) (*VPE, error) {
+	if s.member.KernelOf(pe) < 0 || pe < s.cfg.Kernels || pe >= s.cfg.Kernels+s.cfg.UserPEs {
+		return nil, fmt.Errorf("core: PE %d is not a user PE", pe)
+	}
+	if s.peToVPE[pe] != nil {
+		return nil, fmt.Errorf("core: PE %d is already occupied", pe)
+	}
+	k := s.KernelOfPE(pe)
+	v := &VPE{
+		ID:     s.nextVPE,
+		Name:   name,
+		PE:     pe,
+		sys:    s,
+		kernel: k,
+		dtu:    s.Fab.DTU(pe),
+		prog:   prog,
+	}
+	s.nextVPE++
+	s.vpes = append(s.vpes, v)
+	s.peToVPE[pe] = v
+	k.createVPE(v)
+	return v, nil
+}

@@ -1,0 +1,209 @@
+// Package ddl implements the distributed data lookup (DDL), the capability
+// addressing scheme of SemperOS (paper §3.2).
+//
+// Every kernel object that must be referable by other kernels gets a DDL
+// key: a 64-bit value split into bit fields
+//
+//	| PE ID | VPE ID | Type | Object ID |
+//
+// where PE ID and VPE ID denote the creator of the object and Type and
+// Object ID describe the object itself. The PE ID splits the key space into
+// partitions; each partition is assigned to exactly one kernel via the
+// membership table, which is replicated at every kernel. Given any DDL key,
+// any kernel can therefore decide which kernel owns the named object without
+// communication.
+package ddl
+
+import (
+	"fmt"
+)
+
+// Bit-field widths of a DDL key. 12 bits of PE ID support 4096 PEs, well
+// above the 640-PE evaluation platform; 34 bits of object ID are practically
+// inexhaustible for a simulation run.
+const (
+	PEBits     = 12
+	VPEBits    = 12
+	TypeBits   = 6
+	ObjectBits = 64 - PEBits - VPEBits - TypeBits
+
+	// MaxPEs is the number of addressable PEs (and key-space partitions).
+	MaxPEs = 1 << PEBits
+	// MaxVPEs is the number of addressable VPEs per PE.
+	MaxVPEs = 1 << VPEBits
+)
+
+// Type identifies the kind of object a DDL key names.
+type Type uint8
+
+// Object types. They mirror the resources SemperOS manages through
+// capabilities: VPEs, byte-granular memory, communication endpoints,
+// services and sessions.
+const (
+	TypeInvalid Type = iota
+	TypeVPE
+	TypeMem
+	TypeSend
+	TypeRecv
+	TypeService
+	TypeSession
+	TypeKernel
+	typeMax
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeVPE:
+		return "vpe"
+	case TypeMem:
+		return "mem"
+	case TypeSend:
+		return "send"
+	case TypeRecv:
+		return "recv"
+	case TypeService:
+		return "service"
+	case TypeSession:
+		return "session"
+	case TypeKernel:
+		return "kernel"
+	default:
+		return "invalid"
+	}
+}
+
+// Key is a globally valid DDL key. The zero Key is invalid and never names
+// an object.
+type Key uint64
+
+// NewKey assembles a DDL key from its fields. It panics if a field exceeds
+// its width: keys are constructed by kernels from validated inputs, so an
+// overflow is a kernel bug.
+func NewKey(pe, vpe int, typ Type, object uint64) Key {
+	if pe < 0 || pe >= MaxPEs {
+		panic(fmt.Sprintf("ddl: PE %d out of range", pe))
+	}
+	if vpe < 0 || vpe >= MaxVPEs {
+		panic(fmt.Sprintf("ddl: VPE %d out of range", vpe))
+	}
+	if typ == TypeInvalid || typ >= typeMax {
+		panic(fmt.Sprintf("ddl: bad type %d", typ))
+	}
+	if object >= 1<<ObjectBits {
+		panic(fmt.Sprintf("ddl: object id %d out of range", object))
+	}
+	return Key(uint64(pe)<<(VPEBits+TypeBits+ObjectBits) |
+		uint64(vpe)<<(TypeBits+ObjectBits) |
+		uint64(typ)<<ObjectBits |
+		object)
+}
+
+// PE returns the creator PE field (the key-space partition).
+func (k Key) PE() int { return int(k >> (VPEBits + TypeBits + ObjectBits)) }
+
+// VPE returns the creator VPE field.
+func (k Key) VPE() int {
+	return int(k>>(TypeBits+ObjectBits)) & (MaxVPEs - 1)
+}
+
+// Type returns the object type field.
+func (k Key) Type() Type {
+	return Type(k>>ObjectBits) & (1<<TypeBits - 1)
+}
+
+// Object returns the object id field.
+func (k Key) Object() uint64 { return uint64(k) & (1<<ObjectBits - 1) }
+
+// Valid reports whether the key names an object (nonzero with a known type).
+func (k Key) Valid() bool {
+	t := k.Type()
+	return k != 0 && t != TypeInvalid && t < typeMax
+}
+
+func (k Key) String() string {
+	if !k.Valid() {
+		return "key<invalid>"
+	}
+	return fmt.Sprintf("key<pe%d:v%d:%s:%d>", k.PE(), k.VPE(), k.Type(), k.Object())
+}
+
+// Generator hands out fresh object ids per creator, so that keys minted by
+// one kernel never collide.
+type Generator struct {
+	next map[uint32]uint64
+}
+
+// NewGenerator returns an empty key generator.
+func NewGenerator() *Generator {
+	return &Generator{next: make(map[uint32]uint64)}
+}
+
+// Next mints a fresh key for creator (pe, vpe) and the given type.
+func (g *Generator) Next(pe, vpe int, typ Type) Key {
+	return NewKey(pe, vpe, typ, g.NextID(pe, vpe))
+}
+
+// NextID mints a fresh object id for creator (pe, vpe) without fixing the
+// type yet. Used by exchange protocols where the object type becomes known
+// only at the owner's side; both kernels then compose the same key.
+func (g *Generator) NextID(pe, vpe int) uint64 {
+	id := uint32(pe)<<16 | uint32(vpe)
+	obj := g.next[id]
+	g.next[id] = obj + 1
+	return obj
+}
+
+// Membership is the table mapping key-space partitions (PE IDs) to kernels.
+// Every kernel holds a copy; in the current system (like the paper's
+// implementation) the mapping is static because PE migration is unsupported.
+type Membership struct {
+	kernelOf []int
+}
+
+// NewMembership creates a table for a machine with pes PEs, with every
+// partition unassigned (-1).
+func NewMembership(pes int) *Membership {
+	m := &Membership{kernelOf: make([]int, pes)}
+	for i := range m.kernelOf {
+		m.kernelOf[i] = -1
+	}
+	return m
+}
+
+// Assign maps PE pe's partition to the given kernel.
+func (m *Membership) Assign(pe, kernel int) {
+	m.kernelOf[pe] = kernel
+}
+
+// KernelOf returns the kernel managing PE pe's partition, or -1.
+func (m *Membership) KernelOf(pe int) int {
+	if pe < 0 || pe >= len(m.kernelOf) {
+		return -1
+	}
+	return m.kernelOf[pe]
+}
+
+// KernelOfKey returns the kernel owning the object named by k, derived
+// purely from the key and the table — the core of the DDL.
+func (m *Membership) KernelOfKey(k Key) int { return m.KernelOf(k.PE()) }
+
+// PEs returns the number of PEs covered by the table.
+func (m *Membership) PEs() int { return len(m.kernelOf) }
+
+// Group returns all PEs assigned to the given kernel, in ascending order.
+func (m *Membership) Group(kernel int) []int {
+	var pes []int
+	for pe, k := range m.kernelOf {
+		if k == kernel {
+			pes = append(pes, pe)
+		}
+	}
+	return pes
+}
+
+// Clone returns an independent copy, modeling the per-kernel replica.
+func (m *Membership) Clone() *Membership {
+	c := &Membership{kernelOf: make([]int, len(m.kernelOf))}
+	copy(c.kernelOf, m.kernelOf)
+	return c
+}

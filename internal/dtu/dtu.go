@@ -1,0 +1,490 @@
+// Package dtu models the data transfer unit (DTU), the hardware component
+// that M3 and SemperOS place next to every processing element (PE).
+//
+// The DTU is the PE's only gateway to the rest of the machine: it exchanges
+// messages with other DTUs and performs remote memory accesses, both over
+// the NoC. Controlling a PE's DTU therefore suffices to isolate the PE
+// (NoC-level isolation). Following the paper's evaluation platform, each DTU
+// provides 16 endpoints; receive endpoints hold up to 32 message slots; a
+// message arriving at a full endpoint is lost, which is why the kernels
+// bound their in-flight messages.
+//
+// Endpoints are configured only by privileged DTUs. At boot all DTUs are
+// privileged; the kernel downgrades every user DTU and remains the only
+// privileged one, mirroring the M3 boot protocol.
+package dtu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Architectural constants of the evaluation platform (paper §5.1).
+const (
+	// NumEndpoints is the number of endpoints per DTU.
+	NumEndpoints = 16
+	// DefaultSlots is the number of message slots per receive endpoint.
+	DefaultSlots = 32
+	// headerBytes is the wire overhead charged per message.
+	headerBytes = 32
+)
+
+// Errors returned by DTU operations.
+var (
+	ErrNoCredits     = errors.New("dtu: no credits on send endpoint")
+	ErrBadEndpoint   = errors.New("dtu: endpoint not configured for this operation")
+	ErrNotPrivileged = errors.New("dtu: operation requires a privileged DTU")
+	ErrOutOfBounds   = errors.New("dtu: memory access out of bounds")
+	ErrNoPerm        = errors.New("dtu: missing permission on memory endpoint")
+)
+
+// Perm is a permission bit set for memory endpoints and capabilities.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermR Perm = 1 << iota
+	PermW
+	PermX
+	// PermRW is the common read-write combination.
+	PermRW = PermR | PermW
+)
+
+func (p Perm) String() string {
+	buf := []byte("---")
+	if p&PermR != 0 {
+		buf[0] = 'r'
+	}
+	if p&PermW != 0 {
+		buf[1] = 'w'
+	}
+	if p&PermX != 0 {
+		buf[2] = 'x'
+	}
+	return string(buf)
+}
+
+// EpKind is the configured role of an endpoint.
+type EpKind uint8
+
+// Endpoint kinds.
+const (
+	EpInvalid EpKind = iota
+	EpSend
+	EpRecv
+	EpMem
+)
+
+func (k EpKind) String() string {
+	switch k {
+	case EpSend:
+		return "send"
+	case EpRecv:
+		return "recv"
+	case EpMem:
+		return "mem"
+	default:
+		return "invalid"
+	}
+}
+
+// Message is a message delivered to a receive endpoint. It occupies a slot
+// until the receiver calls Reply or Ack.
+type Message struct {
+	SrcPE   int
+	SrcEP   int
+	ReplyEP int // endpoint at the sender that accepts the reply, -1 if none
+	Label   uint64
+	Payload any
+	Size    int
+
+	dstDTU *DTU
+	dstEP  int
+	freed  bool
+}
+
+// Handler consumes messages arriving at a receive endpoint.
+type Handler func(*Message)
+
+type endpoint struct {
+	kind EpKind
+
+	// send
+	dstPE, dstEP int
+	credits      int
+	maxCredits   int
+	label        uint64
+
+	// recv
+	slots   int
+	used    int
+	queue   []*Message
+	handler Handler
+	waiters []*sim.Proc
+
+	// mem
+	memPE   int
+	memOff  uint64
+	memSize uint64
+	perm    Perm
+}
+
+// Stats counts per-DTU activity.
+type Stats struct {
+	Sent      uint64
+	Received  uint64
+	Lost      uint64
+	MemReads  uint64
+	MemWrites uint64
+}
+
+// DTU is one data transfer unit, attached to PE `pe`.
+type DTU struct {
+	fabric     *Fabric
+	pe         int
+	privileged bool
+	eps        [NumEndpoints]endpoint
+	mem        []byte
+	memCap     int // declared local memory size; backing allocated lazily
+	stats      Stats
+}
+
+// Fabric owns all DTUs of a machine and the NoC connecting them.
+type Fabric struct {
+	eng  *sim.Engine
+	net  *noc.Network
+	dtus []*DTU
+}
+
+// NewFabric creates a fabric over the given network. One DTU per PE must be
+// added with Add before use.
+func NewFabric(eng *sim.Engine, net *noc.Network) *Fabric {
+	return &Fabric{
+		eng:  eng,
+		net:  net,
+		dtus: make([]*DTU, net.Nodes()),
+	}
+}
+
+// Add attaches a new DTU (initially privileged) to PE pe with memBytes of
+// local memory exposed to remote memory endpoints.
+func (f *Fabric) Add(pe int, memBytes int) *DTU {
+	if f.dtus[pe] != nil {
+		panic(fmt.Sprintf("dtu: PE %d already has a DTU", pe))
+	}
+	d := &DTU{fabric: f, pe: pe, privileged: true, memCap: memBytes}
+	for i := range d.eps {
+		d.eps[i].kind = EpInvalid
+	}
+	f.dtus[pe] = d
+	return d
+}
+
+// DTU returns the DTU attached to PE pe.
+func (f *Fabric) DTU(pe int) *DTU { return f.dtus[pe] }
+
+// Engine returns the fabric's simulation engine.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Network returns the fabric's NoC.
+func (f *Fabric) Network() *noc.Network { return f.net }
+
+// PE returns the PE this DTU is attached to.
+func (d *DTU) PE() int { return d.pe }
+
+// Stats returns a snapshot of the DTU's counters.
+func (d *DTU) Stats() Stats { return d.stats }
+
+// Privileged reports whether this DTU may configure endpoints.
+func (d *DTU) Privileged() bool { return d.privileged }
+
+// Downgrade removes the privileged status. The kernel downgrades all user
+// DTUs during boot; only kernel DTUs stay privileged.
+func (d *DTU) Downgrade() { d.privileged = false }
+
+// Memory returns the DTU's local memory (nil if none declared). The backing
+// storage is allocated on first use: simulations that model data movement as
+// time (the paper's methodology) never pay for it.
+func (d *DTU) Memory() []byte {
+	if d.mem == nil && d.memCap > 0 {
+		d.mem = make([]byte, d.memCap)
+	}
+	return d.mem
+}
+
+// MemorySize returns the declared local memory size.
+func (d *DTU) MemorySize() int { return d.memCap }
+
+// configuring endpoints ------------------------------------------------
+
+// checkEP panics on out-of-range endpoint indices: that is a programming
+// error in the simulation, not a modeled fault.
+func checkEP(ep int) {
+	if ep < 0 || ep >= NumEndpoints {
+		panic(fmt.Sprintf("dtu: endpoint %d out of range", ep))
+	}
+}
+
+// ConfigureSend sets up a send endpoint targeting (dstPE, dstEP) with the
+// given credits. by must be privileged (pass the DTU itself if it is).
+func (d *DTU) ConfigureSend(by *DTU, ep, dstPE, dstEP, credits int, label uint64) error {
+	checkEP(ep)
+	if !by.privileged {
+		return ErrNotPrivileged
+	}
+	d.eps[ep] = endpoint{kind: EpSend, dstPE: dstPE, dstEP: dstEP, credits: credits, maxCredits: credits, label: label}
+	return nil
+}
+
+// ConfigureRecv sets up a receive endpoint with the given number of message
+// slots (0 means DefaultSlots) and an optional handler. With a handler,
+// arriving messages are passed to it; without, they queue for Fetch/Wait.
+func (d *DTU) ConfigureRecv(by *DTU, ep, slots int, h Handler) error {
+	checkEP(ep)
+	if !by.privileged {
+		return ErrNotPrivileged
+	}
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	d.eps[ep] = endpoint{kind: EpRecv, slots: slots, handler: h}
+	return nil
+}
+
+// ConfigureMem sets up a memory endpoint granting perm access to
+// [off, off+size) in PE memPE's local memory.
+func (d *DTU) ConfigureMem(by *DTU, ep, memPE int, off, size uint64, perm Perm) error {
+	checkEP(ep)
+	if !by.privileged {
+		return ErrNotPrivileged
+	}
+	d.eps[ep] = endpoint{kind: EpMem, memPE: memPE, memOff: off, memSize: size, perm: perm}
+	return nil
+}
+
+// Invalidate resets an endpoint. Used when capabilities are revoked: the
+// kernel invalidates any endpoint configured from a revoked capability.
+func (d *DTU) Invalidate(by *DTU, ep int) error {
+	checkEP(ep)
+	if !by.privileged {
+		return ErrNotPrivileged
+	}
+	d.eps[ep] = endpoint{kind: EpInvalid}
+	return nil
+}
+
+// EpKindOf returns the configured kind of an endpoint.
+func (d *DTU) EpKindOf(ep int) EpKind {
+	checkEP(ep)
+	return d.eps[ep].kind
+}
+
+// Credits returns the available credits of a send endpoint.
+func (d *DTU) Credits(ep int) int {
+	checkEP(ep)
+	return d.eps[ep].credits
+}
+
+// messaging --------------------------------------------------------------
+
+// Send transmits payload over send endpoint ep. replyEP names the local
+// receive endpoint for the reply (-1 if no reply is expected). One credit is
+// consumed; it returns when the peer replies or acks.
+func (d *DTU) Send(ep int, payload any, size int, replyEP int, label uint64) error {
+	checkEP(ep)
+	e := &d.eps[ep]
+	if e.kind != EpSend {
+		return ErrBadEndpoint
+	}
+	if e.credits <= 0 {
+		return ErrNoCredits
+	}
+	e.credits--
+	d.stats.Sent++
+	msg := &Message{
+		SrcPE:   d.pe,
+		SrcEP:   ep,
+		ReplyEP: replyEP,
+		Label:   e.label,
+		Payload: payload,
+		Size:    size,
+	}
+	if label != 0 {
+		msg.Label = label
+	}
+	dstPE, dstEP := e.dstPE, e.dstEP
+	d.fabric.net.Send(d.pe, dstPE, size+headerBytes, func() {
+		d.fabric.dtus[dstPE].deliver(dstEP, msg)
+	})
+	return nil
+}
+
+// deliver places msg into receive endpoint ep, or drops it if no slot is
+// free (the architectural behavior the kernels must avoid by bounding their
+// in-flight messages).
+func (d *DTU) deliver(ep int, msg *Message) {
+	e := &d.eps[ep]
+	if e.kind != EpRecv || e.used >= e.slots {
+		d.stats.Lost++
+		d.fabric.net.CountLost()
+		return
+	}
+	e.used++
+	d.stats.Received++
+	msg.dstDTU = d
+	msg.dstEP = ep
+	if e.handler != nil {
+		e.handler(msg)
+		return
+	}
+	e.queue = append(e.queue, msg)
+	if len(e.waiters) > 0 {
+		w := e.waiters[0]
+		e.waiters = e.waiters[1:]
+		w.Wake()
+	}
+}
+
+// Fetch removes and returns the oldest queued message on receive endpoint
+// ep, or nil. The slot stays occupied until Reply or Ack.
+func (d *DTU) Fetch(ep int) *Message {
+	checkEP(ep)
+	e := &d.eps[ep]
+	if e.kind != EpRecv || len(e.queue) == 0 {
+		return nil
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	return m
+}
+
+// Wait blocks the proc until a message is queued at receive endpoint ep and
+// returns it.
+func (d *DTU) Wait(p *sim.Proc, ep int) *Message {
+	checkEP(ep)
+	e := &d.eps[ep]
+	if e.kind != EpRecv {
+		panic("dtu: Wait on non-recv endpoint")
+	}
+	for len(e.queue) == 0 {
+		e.waiters = append(e.waiters, p)
+		p.Park()
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	return m
+}
+
+// Reply frees msg's slot and sends a reply back to the sender's reply
+// endpoint, returning the sender's credit along with it.
+func (d *DTU) Reply(msg *Message, payload any, size int) {
+	if msg.dstDTU != d {
+		panic("dtu: Reply on foreign message")
+	}
+	d.free(msg)
+	reply := &Message{
+		SrcPE:   d.pe,
+		SrcEP:   msg.dstEP,
+		ReplyEP: -1,
+		Payload: payload,
+		Size:    size,
+	}
+	srcPE, srcEP, replyEP := msg.SrcPE, msg.SrcEP, msg.ReplyEP
+	d.fabric.net.Send(d.pe, srcPE, size+headerBytes, func() {
+		src := d.fabric.dtus[srcPE]
+		src.restoreCredit(srcEP)
+		if replyEP >= 0 {
+			src.deliver(replyEP, reply)
+		}
+	})
+}
+
+// Ack frees msg's slot without a payload reply; the sender's credit is
+// returned by a (zero-byte) credit message.
+func (d *DTU) Ack(msg *Message) {
+	if msg.dstDTU != d {
+		panic("dtu: Ack on foreign message")
+	}
+	d.free(msg)
+	srcPE, srcEP := msg.SrcPE, msg.SrcEP
+	d.fabric.net.Send(d.pe, srcPE, headerBytes, func() {
+		d.fabric.dtus[srcPE].restoreCredit(srcEP)
+	})
+}
+
+func (d *DTU) free(msg *Message) {
+	if msg.freed {
+		panic("dtu: message freed twice")
+	}
+	msg.freed = true
+	e := &d.eps[msg.dstEP]
+	if e.used > 0 {
+		e.used--
+	}
+}
+
+func (d *DTU) restoreCredit(ep int) {
+	e := &d.eps[ep]
+	if e.kind == EpSend && e.credits < e.maxCredits {
+		e.credits++
+	}
+}
+
+// remote memory ----------------------------------------------------------
+
+// memAccess validates a request against endpoint ep and returns the target.
+func (d *DTU) memAccess(ep int, off, size uint64, need Perm) (*DTU, uint64, error) {
+	checkEP(ep)
+	e := &d.eps[ep]
+	if e.kind != EpMem {
+		return nil, 0, ErrBadEndpoint
+	}
+	if e.perm&need != need {
+		return nil, 0, ErrNoPerm
+	}
+	if off+size > e.memSize || off+size < off {
+		return nil, 0, ErrOutOfBounds
+	}
+	target := d.fabric.dtus[e.memPE]
+	abs := e.memOff + off
+	if abs+size > uint64(target.memCap) {
+		return nil, 0, ErrOutOfBounds
+	}
+	return target, abs, nil
+}
+
+// ReadMem reads size bytes at offset off through memory endpoint ep,
+// blocking the proc for the NoC round trip plus data transfer time.
+func (d *DTU) ReadMem(p *sim.Proc, ep int, off, size uint64) ([]byte, error) {
+	target, abs, err := d.memAccess(ep, off, size, PermR)
+	if err != nil {
+		return nil, err
+	}
+	d.stats.MemReads++
+	// Request travels to the memory, data travels back.
+	lat := d.fabric.net.Latency(d.pe, target.pe, headerBytes) +
+		d.fabric.net.Latency(target.pe, d.pe, int(size))
+	p.Sleep(lat)
+	buf := make([]byte, size)
+	copy(buf, target.Memory()[abs:abs+size])
+	return buf, nil
+}
+
+// WriteMem writes data at offset off through memory endpoint ep, blocking
+// the proc for the transfer plus acknowledgement.
+func (d *DTU) WriteMem(p *sim.Proc, ep int, off uint64, data []byte) error {
+	size := uint64(len(data))
+	target, abs, err := d.memAccess(ep, off, size, PermW)
+	if err != nil {
+		return err
+	}
+	d.stats.MemWrites++
+	lat := d.fabric.net.Latency(d.pe, target.pe, int(size)) +
+		d.fabric.net.Latency(target.pe, d.pe, headerBytes)
+	p.Sleep(lat)
+	copy(target.Memory()[abs:abs+size], data)
+	return nil
+}

@@ -1,0 +1,265 @@
+package dtu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+func newFabric(t *testing.T, nodes int) (*sim.Engine, *Fabric) {
+	t.Helper()
+	e := sim.NewEngine()
+	n := noc.New(e, noc.DefaultConfig(nodes))
+	f := NewFabric(e, n)
+	for i := 0; i < nodes; i++ {
+		f.Add(i, 1<<16)
+	}
+	return e, f
+}
+
+func TestSendReceive(t *testing.T) {
+	e, f := newFabric(t, 4)
+	a, b := f.DTU(0), f.DTU(1)
+	if err := b.ConfigureRecv(b, 2, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ConfigureSend(a, 1, 1, 2, 4, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, "hello", 16, -1, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	m := b.Fetch(2)
+	if m == nil {
+		t.Fatal("no message delivered")
+	}
+	if m.Payload.(string) != "hello" || m.SrcPE != 0 || m.Label != 7 {
+		t.Fatalf("bad message: %+v", m)
+	}
+}
+
+func TestCreditsConsumedAndRestoredOnReply(t *testing.T) {
+	e, f := newFabric(t, 4)
+	a, b := f.DTU(0), f.DTU(1)
+	b.ConfigureRecv(b, 2, 4, nil)
+	a.ConfigureRecv(a, 3, 4, nil) // reply EP
+	a.ConfigureSend(a, 1, 1, 2, 2, 0)
+
+	a.Send(1, "req", 16, 3, 0)
+	if a.Credits(1) != 1 {
+		t.Fatalf("credits after send = %d, want 1", a.Credits(1))
+	}
+	e.Run()
+	m := b.Fetch(2)
+	b.Reply(m, "resp", 16)
+	e.Run()
+	if a.Credits(1) != 2 {
+		t.Fatalf("credits after reply = %d, want 2", a.Credits(1))
+	}
+	r := a.Fetch(3)
+	if r == nil || r.Payload.(string) != "resp" {
+		t.Fatalf("bad reply: %+v", r)
+	}
+}
+
+func TestCreditsExhausted(t *testing.T) {
+	_, f := newFabric(t, 4)
+	a, b := f.DTU(0), f.DTU(1)
+	b.ConfigureRecv(b, 2, 4, nil)
+	a.ConfigureSend(a, 1, 1, 2, 1, 0)
+	if err := a.Send(1, 1, 8, -1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, 2, 8, -1, 0); err != ErrNoCredits {
+		t.Fatalf("err = %v, want ErrNoCredits", err)
+	}
+}
+
+func TestAckRestoresCredit(t *testing.T) {
+	e, f := newFabric(t, 4)
+	a, b := f.DTU(0), f.DTU(1)
+	b.ConfigureRecv(b, 2, 4, nil)
+	a.ConfigureSend(a, 1, 1, 2, 1, 0)
+	a.Send(1, "x", 8, -1, 0)
+	e.Run()
+	b.Ack(b.Fetch(2))
+	e.Run()
+	if a.Credits(1) != 1 {
+		t.Fatalf("credits = %d, want 1", a.Credits(1))
+	}
+}
+
+func TestMessageLossOnFullEndpoint(t *testing.T) {
+	e, f := newFabric(t, 4)
+	a, b := f.DTU(0), f.DTU(1)
+	b.ConfigureRecv(b, 2, 2, nil) // only 2 slots
+	a.ConfigureSend(a, 1, 1, 2, 8, 0)
+	for i := 0; i < 4; i++ {
+		a.Send(1, i, 8, -1, 0)
+	}
+	e.Run()
+	if got := b.Stats().Lost; got != 2 {
+		t.Fatalf("lost = %d, want 2", got)
+	}
+	if got := b.Stats().Received; got != 2 {
+		t.Fatalf("received = %d, want 2", got)
+	}
+}
+
+func TestHandlerDelivery(t *testing.T) {
+	e, f := newFabric(t, 4)
+	a, b := f.DTU(0), f.DTU(1)
+	var got []*Message
+	b.ConfigureRecv(b, 2, 4, func(m *Message) { got = append(got, m) })
+	a.ConfigureSend(a, 1, 1, 2, 4, 0)
+	a.Send(1, "via-handler", 8, -1, 0)
+	e.Run()
+	if len(got) != 1 || got[0].Payload.(string) != "via-handler" {
+		t.Fatalf("handler got %v", got)
+	}
+	if b.Fetch(2) != nil {
+		t.Fatal("handled message also queued")
+	}
+}
+
+func TestWaitBlocksProc(t *testing.T) {
+	e, f := newFabric(t, 4)
+	a, b := f.DTU(0), f.DTU(1)
+	b.ConfigureRecv(b, 2, 4, nil)
+	a.ConfigureSend(a, 1, 1, 2, 4, 0)
+	var at sim.Time
+	e.Spawn("recv", func(p *sim.Proc) {
+		m := b.Wait(p, 2)
+		at = p.Now()
+		b.Ack(m)
+	})
+	e.Schedule(100, func() { a.Send(1, "late", 8, -1, 0) })
+	e.Run()
+	if at <= 100 {
+		t.Fatalf("received at %d, want after 100", at)
+	}
+}
+
+func TestPrivilegeEnforcement(t *testing.T) {
+	_, f := newFabric(t, 4)
+	a, b := f.DTU(0), f.DTU(1)
+	a.Downgrade()
+	if err := b.ConfigureRecv(a, 2, 4, nil); err != ErrNotPrivileged {
+		t.Fatalf("err = %v, want ErrNotPrivileged", err)
+	}
+	// A privileged DTU may configure another DTU's endpoints.
+	if err := a.ConfigureRecv(b, 2, 4, nil); err != nil {
+		t.Fatalf("privileged remote configure failed: %v", err)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	_, f := newFabric(t, 4)
+	a := f.DTU(0)
+	a.ConfigureSend(a, 1, 1, 2, 4, 0)
+	if a.EpKindOf(1) != EpSend {
+		t.Fatal("endpoint not configured")
+	}
+	a.Invalidate(a, 1)
+	if a.EpKindOf(1) != EpInvalid {
+		t.Fatal("endpoint not invalidated")
+	}
+	if err := a.Send(1, "x", 8, -1, 0); err != ErrBadEndpoint {
+		t.Fatalf("err = %v, want ErrBadEndpoint", err)
+	}
+}
+
+func TestMemReadWrite(t *testing.T) {
+	e, f := newFabric(t, 4)
+	a, m := f.DTU(0), f.DTU(3)
+	copy(m.Memory()[100:], []byte("persistent"))
+	a.ConfigureMem(a, 5, 3, 100, 64, PermRW)
+	var got []byte
+	e.Spawn("reader", func(p *sim.Proc) {
+		var err error
+		got, err = a.ReadMem(p, 5, 0, 10)
+		if err != nil {
+			t.Errorf("ReadMem: %v", err)
+		}
+		if err := a.WriteMem(p, 5, 10, []byte("XY")); err != nil {
+			t.Errorf("WriteMem: %v", err)
+		}
+	})
+	e.Run()
+	if string(got) != "persistent" {
+		t.Fatalf("read %q", got)
+	}
+	if string(m.Memory()[110:112]) != "XY" {
+		t.Fatalf("write not visible: %q", m.Memory()[110:112])
+	}
+	if e.Now() == 0 {
+		t.Fatal("memory access took no simulated time")
+	}
+}
+
+func TestMemPermissionDenied(t *testing.T) {
+	e, f := newFabric(t, 4)
+	a := f.DTU(0)
+	a.ConfigureMem(a, 5, 3, 0, 64, PermR)
+	e.Spawn("w", func(p *sim.Proc) {
+		if err := a.WriteMem(p, 5, 0, []byte("no")); err != ErrNoPerm {
+			t.Errorf("err = %v, want ErrNoPerm", err)
+		}
+	})
+	e.Run()
+}
+
+func TestMemOutOfBounds(t *testing.T) {
+	e, f := newFabric(t, 4)
+	a := f.DTU(0)
+	a.ConfigureMem(a, 5, 3, 0, 64, PermRW)
+	e.Spawn("r", func(p *sim.Proc) {
+		if _, err := a.ReadMem(p, 5, 60, 10); err != ErrOutOfBounds {
+			t.Errorf("err = %v, want ErrOutOfBounds", err)
+		}
+	})
+	e.Run()
+}
+
+func TestPermString(t *testing.T) {
+	if s := PermRW.String(); s != "rw-" {
+		t.Fatalf("PermRW = %q", s)
+	}
+	if s := (PermR | PermX).String(); s != "r-x" {
+		t.Fatalf("R|X = %q", s)
+	}
+}
+
+// Property: for any sequence of sends within credit limits, every message is
+// delivered exactly once and in order per sender.
+func TestNoLossWithinCredits(t *testing.T) {
+	f := func(nMsgs uint8) bool {
+		n := int(nMsgs%DefaultSlots) + 1
+		e := sim.NewEngine()
+		net := noc.New(e, noc.DefaultConfig(2))
+		fab := NewFabric(e, net)
+		a := fab.Add(0, 0)
+		b := fab.Add(1, 0)
+		b.ConfigureRecv(b, 0, DefaultSlots, nil)
+		a.ConfigureSend(a, 0, 1, 0, DefaultSlots, 0)
+		for i := 0; i < n; i++ {
+			if err := a.Send(0, i, 8, -1, 0); err != nil {
+				return false
+			}
+		}
+		e.Run()
+		for i := 0; i < n; i++ {
+			m := b.Fetch(0)
+			if m == nil || m.Payload.(int) != i {
+				return false
+			}
+		}
+		return b.Stats().Lost == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+package m3fs
+
+import (
+	"fmt"
+
+	"repro/internal/cap"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Client is an application's connection to one m3fs instance. It mirrors
+// the M3 file API: metadata operations are data-plane IPC; file data is
+// reached through memory capabilities obtained per extent.
+type Client struct {
+	v    *core.VPE
+	sess *core.Session
+
+	// DataCyclesPerByte models the time to move one byte of file data
+	// through a memory endpoint against a non-contended memory controller
+	// (the paper's §5.3.1 methodology: data accesses are accounted as
+	// compute time rather than simulated through a memory hierarchy).
+	DataCyclesPerByte float64
+}
+
+// DefaultDataCyclesPerByte corresponds to ~16 GB/s per PE at 2 GHz.
+const DefaultDataCyclesPerByte = 0.125
+
+// Dial connects a VPE to the named filesystem service.
+func Dial(p *sim.Proc, v *core.VPE, service string) (*Client, error) {
+	sess, err := v.CreateSession(p, service, nil)
+	if err != nil {
+		return nil, fmt.Errorf("m3fs: dial %s: %w", service, err)
+	}
+	return &Client{v: v, sess: sess, DataCyclesPerByte: DefaultDataCyclesPerByte}, nil
+}
+
+// Close closes the session (revoking the session capability).
+func (c *Client) Close(p *sim.Proc) error { return c.sess.Close(p) }
+
+// Session exposes the underlying session (for tests).
+func (c *Client) Session() *core.Session { return c.sess }
+
+// call performs one data-plane request.
+func (c *Client) call(p *sim.Proc, req any) (any, error) {
+	rep, err := c.sess.Call(p, req)
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// Stat returns metadata for a path.
+func (c *Client) Stat(p *sim.Proc, path string) (RepStat, error) {
+	rep, err := c.call(p, ReqStat{Path: path})
+	if err != nil {
+		return RepStat{}, err
+	}
+	st := rep.(RepStat)
+	return st, st.Err.Err()
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(p *sim.Proc, path string) error {
+	rep, err := c.call(p, ReqMkdir{Path: path})
+	if err != nil {
+		return err
+	}
+	return rep.(RepGeneric).Err.Err()
+}
+
+// Unlink removes a file; the service revokes all extent capabilities
+// handed out for it.
+func (c *Client) Unlink(p *sim.Proc, path string) error {
+	rep, err := c.call(p, ReqUnlink{Path: path})
+	if err != nil {
+		return err
+	}
+	return rep.(RepGeneric).Err.Err()
+}
+
+// Readdir lists a directory.
+func (c *Client) Readdir(p *sim.Proc, path string) ([]string, error) {
+	rep, err := c.call(p, ReqReaddir{Path: path})
+	if err != nil {
+		return nil, err
+	}
+	rd := rep.(RepReaddir)
+	return rd.Entries, rd.Err.Err()
+}
+
+// File is an open file: it tracks the position and the memory capabilities
+// obtained for the ranges touched so far.
+type File struct {
+	c    *Client
+	fd   int
+	size uint64
+	pos  uint64
+
+	// ranges holds one obtained capability per touched extent.
+	ranges map[uint64]rangeCap // keyed by range start offset
+	order  []uint64            // obtain order, for deterministic revocation
+}
+
+type rangeCap struct {
+	sel  cap.Selector
+	info RangeInfo
+}
+
+// Open opens a file, optionally creating or truncating it.
+func (c *Client) Open(p *sim.Proc, path string, create, truncate bool) (*File, error) {
+	rep, err := c.call(p, ReqOpen{Path: path, Create: create, Truncate: truncate})
+	if err != nil {
+		return nil, err
+	}
+	ro := rep.(RepOpen)
+	if ro.Err != core.OK {
+		return nil, ro.Err
+	}
+	return &File{c: c, fd: ro.FD, size: ro.Size, ranges: make(map[uint64]rangeCap)}, nil
+}
+
+// Size returns the file size as of the last server interaction.
+func (f *File) Size() uint64 { return f.size }
+
+// Pos returns the current file position.
+func (f *File) Pos() uint64 { return f.pos }
+
+// Seek sets the file position.
+func (f *File) Seek(pos uint64) { f.pos = pos }
+
+// RangeCaps returns the selectors of all obtained range capabilities in
+// obtain order.
+func (f *File) RangeCaps() []cap.Selector {
+	sels := make([]cap.Selector, 0, len(f.order))
+	for _, off := range f.order {
+		sels = append(sels, f.ranges[off].sel)
+	}
+	return sels
+}
+
+// ensureRange obtains (once) the memory capability covering offset off.
+func (f *File) ensureRange(p *sim.Proc, off uint64) (rangeCap, error) {
+	for start, rc := range f.ranges {
+		if off >= start && off < start+rc.info.Len {
+			return rc, nil
+		}
+	}
+	sel, reply, err := f.c.sess.Obtain(p, ObtainRange{FD: f.fd, Off: off})
+	if err != nil {
+		return rangeCap{}, err
+	}
+	info := reply.(RangeInfo)
+	rc := rangeCap{sel: sel, info: info}
+	f.ranges[info.Off] = rc
+	f.order = append(f.order, info.Off)
+	return rc, nil
+}
+
+// Read models reading n bytes sequentially from the current position:
+// obtaining memory capabilities for newly touched extents and charging the
+// data-movement time. It returns the number of bytes read (less than n at
+// end of file).
+func (f *File) Read(p *sim.Proc, n uint64) (uint64, error) {
+	if f.pos >= f.size {
+		return 0, nil
+	}
+	if f.pos+n > f.size {
+		n = f.size - f.pos
+	}
+	left := n
+	for left > 0 {
+		rc, err := f.ensureRange(p, f.pos)
+		if err != nil {
+			return n - left, err
+		}
+		chunk := rc.info.Off + rc.info.Len - f.pos
+		if chunk > left {
+			chunk = left
+		}
+		p.Sleep(sim.Duration(float64(chunk) * f.c.DataCyclesPerByte))
+		f.c.v.TransferData(p, chunk)
+		f.pos += chunk
+		left -= chunk
+	}
+	return n, nil
+}
+
+// Write models writing n bytes sequentially at the current position,
+// extending the file as needed.
+func (f *File) Write(p *sim.Proc, n uint64) error {
+	if f.pos+n > f.size {
+		rep, err := f.c.call(p, ReqExtend{FD: f.fd, NewSize: f.pos + n})
+		if err != nil {
+			return err
+		}
+		if e := rep.(RepGeneric).Err; e != core.OK {
+			return e
+		}
+		f.size = f.pos + n
+	}
+	left := n
+	for left > 0 {
+		rc, err := f.ensureRange(p, f.pos)
+		if err != nil {
+			return err
+		}
+		chunk := rc.info.Off + rc.info.Len - f.pos
+		if chunk > left {
+			chunk = left
+		}
+		p.Sleep(sim.Duration(float64(chunk) * f.c.DataCyclesPerByte))
+		f.c.v.TransferData(p, chunk)
+		f.pos += chunk
+		left -= chunk
+	}
+	return nil
+}
+
+// Close closes the file. With revoke=true the client revokes every range
+// capability it obtained (the paper's "when the file is closed again, the
+// memory capabilities are revoked"); with revoke=false the capabilities are
+// left to bulk cleanup at VPE exit.
+func (f *File) Close(p *sim.Proc, revoke bool) error {
+	if revoke {
+		for _, off := range f.order {
+			if err := f.c.v.Revoke(p, f.ranges[off].sel); err != nil {
+				return err
+			}
+		}
+	}
+	f.ranges = make(map[uint64]rangeCap)
+	f.order = nil
+	rep, err := f.c.call(p, ReqClose{FD: f.fd})
+	if err != nil {
+		return err
+	}
+	return rep.(RepGeneric).Err.Err()
+}

@@ -1,0 +1,202 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newNet(t *testing.T, nodes int, contention bool) (*sim.Engine, *Network) {
+	t.Helper()
+	e := sim.NewEngine()
+	cfg := DefaultConfig(nodes)
+	cfg.Contention = contention
+	return e, New(e, cfg)
+}
+
+func TestHops(t *testing.T) {
+	_, n := newNet(t, 16, false) // 4x4 mesh
+	cases := []struct{ src, dst, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 3},
+		{0, 4, 1},  // one row down
+		{0, 5, 2},  // diagonal neighbor
+		{0, 15, 6}, // opposite corner: 3+3
+		{15, 0, 6},
+	}
+	for _, c := range cases {
+		if got := n.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestLatencyGrowsWithDistance(t *testing.T) {
+	_, n := newNet(t, 64, false)
+	near := n.Latency(0, 1, 64)
+	far := n.Latency(0, 63, 64)
+	if near >= far {
+		t.Fatalf("latency near=%d far=%d; want near < far", near, far)
+	}
+}
+
+func TestLatencyGrowsWithSize(t *testing.T) {
+	_, n := newNet(t, 16, false)
+	small := n.Latency(0, 5, 16)
+	big := n.Latency(0, 5, 4096)
+	if small >= big {
+		t.Fatalf("latency small=%d big=%d; want small < big", small, big)
+	}
+}
+
+func TestDeliveryTime(t *testing.T) {
+	e, n := newNet(t, 16, false)
+	var arrived sim.Time
+	n.Send(0, 15, 64, func() { arrived = e.Now() })
+	e.Run()
+	if want := n.Latency(0, 15, 64); arrived != want {
+		t.Fatalf("arrived at %d, want %d", arrived, want)
+	}
+}
+
+func TestPairFIFOWithMixedSizes(t *testing.T) {
+	// A huge message sent first must not be overtaken by a tiny one sent
+	// immediately after, even though the tiny one has lower model latency.
+	e, n := newNet(t, 16, false)
+	var order []int
+	n.Send(0, 15, 1<<20, func() { order = append(order, 1) })
+	n.Send(0, 15, 1, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("delivery order %v, want [1 2]", order)
+	}
+}
+
+func TestDifferentPairsMayOvertake(t *testing.T) {
+	// FIFO is per pair: a message on a different pair may overtake.
+	e, n := newNet(t, 16, false)
+	var order []int
+	n.Send(0, 15, 1<<20, func() { order = append(order, 1) })
+	n.Send(1, 2, 1, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 2 || order[0] != 2 {
+		t.Fatalf("delivery order %v, want short message first", order)
+	}
+}
+
+func TestContentionSerializesSharedLink(t *testing.T) {
+	// Two messages from the same source over the same first link: the
+	// second must arrive later than it would on an idle network.
+	e, n := newNet(t, 16, true)
+	var first, second sim.Time
+	n.Send(0, 3, 4096, func() { first = e.Now() })
+	n.Send(0, 3, 4096, func() { second = e.Now() })
+	e.Run()
+	if second <= first {
+		t.Fatalf("second=%d first=%d; want serialization", second, first)
+	}
+	// Compare against an idle network.
+	e2, n2 := newNet(t, 16, true)
+	var alone sim.Time
+	n2.Send(0, 3, 4096, func() { alone = e2.Now() })
+	e2.Run()
+	if second <= alone {
+		t.Fatalf("second=%d alone=%d; contention had no effect", second, alone)
+	}
+}
+
+func TestContentionDisjointPathsDoNotInterfere(t *testing.T) {
+	e, n := newNet(t, 16, true)
+	var a, b sim.Time
+	n.Send(0, 1, 4096, func() { a = e.Now() })
+	n.Send(14, 15, 4096, func() { b = e.Now() })
+	e.Run()
+	if a != b {
+		t.Fatalf("disjoint paths a=%d b=%d; want equal", a, b)
+	}
+}
+
+func TestStats(t *testing.T) {
+	e, n := newNet(t, 16, false)
+	n.Send(0, 15, 100, func() {})
+	n.Send(3, 7, 50, func() {})
+	e.Run()
+	s := n.Stats()
+	if s.Messages != 2 {
+		t.Errorf("messages = %d, want 2", s.Messages)
+	}
+	if s.Bytes != 150 {
+		t.Errorf("bytes = %d, want 150", s.Bytes)
+	}
+	if s.HopsSum == 0 {
+		t.Error("hops sum = 0")
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	e, n := newNet(t, 4, false)
+	done := false
+	n.Send(2, 2, 32, func() { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("self-send not delivered")
+	}
+}
+
+func TestInvalidNodePanics(t *testing.T) {
+	e, n := newNet(t, 4, false)
+	_ = e
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range node did not panic")
+		}
+	}()
+	n.Send(0, 99, 1, func() {})
+}
+
+// Property: delivery never precedes the uncontended model latency and
+// per-pair order is preserved, for random message sequences.
+func TestDeliveryProperties(t *testing.T) {
+	f := func(sizes []uint16, gap uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		e := sim.NewEngine()
+		n := New(e, DefaultConfig(9))
+		type rec struct {
+			idx  int
+			sent sim.Time
+			at   sim.Time
+			min  sim.Duration
+		}
+		var recs []rec
+		for i, sz := range sizes {
+			i, sz := i, int(sz)
+			e.Schedule(sim.Duration(i)*sim.Duration(gap), func() {
+				sent := e.Now()
+				min := n.Latency(0, 8, sz)
+				n.Send(0, 8, sz, func() {
+					recs = append(recs, rec{i, sent, e.Now(), min})
+				})
+			})
+		}
+		e.Run()
+		if len(recs) != len(sizes) {
+			return false
+		}
+		for i, r := range recs {
+			if r.idx != i { // FIFO per pair
+				return false
+			}
+			if r.at < r.sent+r.min { // causality + model floor
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine models virtual time in cycles. Events are ordered by
+// (time, sequence number) so that runs are bit-reproducible. On top of the
+// raw event queue the package offers cooperative processes (Proc): goroutines
+// that run one at a time under strict handoff with the engine, which lets
+// protocol code (e.g. a kernel thread performing an inter-kernel call) be
+// written in a natural blocking style while the simulation stays
+// deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, measured in cycles.
+type Time uint64
+
+// Duration is a span of virtual time, measured in cycles.
+type Duration = Time
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not usable;
+// use NewEngine.
+type Engine struct {
+	now      Time
+	pq       eventHeap
+	seq      uint64
+	executed uint64
+	limit    uint64 // safety valve: max events per Run, 0 = unlimited
+	shutdown chan struct{}
+	killed   bool
+	procs    int // live procs, for leak diagnostics
+}
+
+// NewEngine returns a ready-to-run engine with time at zero.
+func NewEngine() *Engine {
+	return &Engine{shutdown: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// SetEventLimit caps the number of events a single Run may execute.
+// Zero (the default) means unlimited. Exceeding the limit makes Run panic,
+// which catches runaway simulations in tests.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// Schedule runs fn after d cycles of virtual time. It may be called from
+// event handlers and from Procs; calling it after Kill is a no-op.
+func (e *Engine) Schedule(d Duration, fn func()) {
+	if e.killed {
+		return
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+// At runs fn at absolute time t. Scheduling in the past panics: it would
+// silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%d) is in the past (now=%d)", t, e.now))
+	}
+	e.Schedule(t-e.now, fn)
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	e.RunUntil(^Time(0))
+}
+
+// RunUntil executes events with timestamps <= t, advancing virtual time.
+// It returns when the queue is empty or the next event is beyond t.
+func (e *Engine) RunUntil(t Time) {
+	n := uint64(0)
+	for len(e.pq) > 0 {
+		if e.pq[0].at > t {
+			return
+		}
+		ev := heap.Pop(&e.pq).(event)
+		if ev.at < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+		e.executed++
+		n++
+		if e.limit != 0 && n > e.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded (possible livelock)", e.limit))
+		}
+	}
+}
+
+// Step executes exactly one event if available and reports whether it did.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	ev.fn()
+	e.executed++
+	return true
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Kill terminates the simulation: parked Procs unwind and exit, and further
+// Schedule calls are ignored. Call it when a simulation is finished to avoid
+// leaking goroutines for procs that are still parked (e.g. server loops).
+func (e *Engine) Kill() {
+	if e.killed {
+		return
+	}
+	e.killed = true
+	close(e.shutdown)
+	// Drain remaining events so parked procs that were about to be resumed
+	// are not left half-woken.
+	e.pq = nil
+}
+
+// LiveProcs returns the number of procs that have been spawned and have not
+// yet exited. Useful to detect leaks in tests.
+func (e *Engine) LiveProcs() int { return e.procs }

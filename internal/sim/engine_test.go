@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.Schedule(10, func() {
+		got = append(got, e.Now())
+		e.Schedule(5, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("got %v, want [10 15]", got)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(10, func() { ran++ })
+	e.Schedule(20, func() { ran++ })
+	e.Schedule(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 3 {
+		t.Fatalf("ran = %d, want 3", ran)
+	}
+}
+
+func TestEngineAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(1, func() { n++ })
+	e.Schedule(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestEngineEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(100)
+	var loop func()
+	loop = func() { e.Schedule(1, loop) }
+	e.Schedule(1, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("event limit did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestEngineKillStopsScheduling(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	e.Kill()
+	e.Schedule(1, func() { t.Error("event ran after Kill") })
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after Kill", e.Pending())
+	}
+}
+
+// TestEngineDeterminism checks that the same schedule, built in a random
+// order, always executes in the same total order (time, then insertion seq).
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var got []int
+		// Insertion order is part of the schedule identity, so build the
+		// same (time, id) pairs in a fixed order, but with random times.
+		for id := 0; id < 200; id++ {
+			id := id
+			at := Duration(rng.Intn(50))
+			e.Schedule(at, func() { got = append(got, id) })
+		}
+		e.Run()
+		return got
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of delays, events run in nondecreasing time order.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var times []Time
+		for _, d := range delays {
+			d := Duration(d)
+			e.Schedule(d, func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] }) {
+			return false
+		}
+		// Every scheduled event ran.
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import "fmt"
+
+// Proc is a cooperative simulation process: a goroutine that runs under
+// strict handoff with the engine. At any instant at most one goroutine (the
+// engine or exactly one proc) executes, so simulations remain deterministic
+// while protocol code can block naturally via Sleep, Park, or Future.Wait.
+//
+// Procs must only interact with the engine (Schedule, Wake, ...) from within
+// their own body or from event handlers; the package is not safe for use
+// from foreign OS threads.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	parked chan struct{}
+	dead   bool
+}
+
+// killed is the panic value used to unwind a proc when its engine is killed.
+type killed struct{}
+
+// Spawn creates a proc running fn, starting at the current virtual time
+// (after already-queued events at this timestamp). The name is used in
+// diagnostics only.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	e.procs++
+	e.Schedule(0, func() {
+		go p.top(fn)
+		p.step()
+	})
+	return p
+}
+
+// top is the proc goroutine body: wait for the first handoff, run fn,
+// then hand control back for the last time.
+func (p *Proc) top(fn func(p *Proc)) {
+	defer func() {
+		p.dead = true
+		p.eng.procs--
+		if r := recover(); r != nil {
+			if _, ok := r.(killed); ok {
+				// Engine was killed: exit silently. Nobody is waiting in
+				// step() anymore, so do not hand back.
+				return
+			}
+			// Real panic in simulation code: re-panic on the engine side
+			// would lose the stack; crash here with context instead.
+			panic(fmt.Sprintf("sim: proc %q panicked: %v", p.name, r))
+		}
+		p.parked <- struct{}{}
+	}()
+	p.waitResume()
+	fn(p)
+}
+
+// step transfers control to the proc and blocks until it parks or exits.
+// It must be called from the engine side (an event handler).
+func (p *Proc) step() {
+	if p.dead {
+		return
+	}
+	select {
+	case p.resume <- struct{}{}:
+	case <-p.eng.shutdown:
+		return
+	}
+	select {
+	case <-p.parked:
+	case <-p.eng.shutdown:
+	}
+}
+
+// waitResume blocks the proc goroutine until the engine hands control over.
+func (p *Proc) waitResume() {
+	select {
+	case <-p.resume:
+	case <-p.eng.shutdown:
+		panic(killed{})
+	}
+}
+
+// park hands control back to the engine and blocks until resumed.
+func (p *Proc) park() {
+	select {
+	case p.parked <- struct{}{}:
+	case <-p.eng.shutdown:
+		panic(killed{})
+	}
+	p.waitResume()
+}
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this proc runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Sleep blocks the proc for d cycles of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	p.eng.Schedule(d, p.step)
+	p.park()
+}
+
+// Yield parks the proc and schedules it to resume at the same timestamp,
+// after other events already queued for this instant. This is a preemption
+// point in the sense of the SemperOS kernel design.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Park blocks the proc until some event handler calls Wake. A proc parked
+// this way and never woken leaks until Engine.Kill.
+func (p *Proc) Park() { p.park() }
+
+// Wake schedules the proc to resume at the current virtual time. It must be
+// called from the engine side or from another proc; waking an unparked or
+// dead proc is a bug and will desynchronize the handoff protocol, so callers
+// must track parked state (Future and Semaphore do this for you).
+func (p *Proc) Wake() {
+	p.eng.Schedule(0, p.step)
+}
+
+// WakeAfter schedules the proc to resume after d cycles.
+func (p *Proc) WakeAfter(d Duration) {
+	p.eng.Schedule(d, p.step)
+}

@@ -1,0 +1,129 @@
+// Package workload runs the paper's application-level experiments: it
+// places N instances of a traced application plus a set of m3fs service
+// instances onto a SemperOS machine, replays the traces, and computes the
+// paper's metrics (parallel efficiency §5.3.1, system efficiency §5.3.2,
+// and the Nginx requests-per-second server benchmark §5.3.3).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/m3fs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// InstanceResult is the outcome of replaying one application instance.
+type InstanceResult struct {
+	VPE    int
+	Start  sim.Time // trace replay begin (after spawn and dial setup)
+	End    sim.Time
+	CapOps uint64
+	Err    error
+}
+
+// Runtime returns the instance's replay duration.
+func (r InstanceResult) Runtime() sim.Duration { return r.End - r.Start }
+
+// ReplayProgram returns a core.Program that replays tr against the given
+// m3fs service, prefixing all paths with prefix (the per-instance
+// namespace). The result is reported through res.
+func ReplayProgram(tr *trace.Trace, service, prefix string, res *InstanceResult) core.Program {
+	return func(v *core.VPE, p *sim.Proc) {
+		res.VPE = v.ID
+		res.Start = p.Now()
+		err := Replay(v, p, tr, service, prefix)
+		res.End = p.Now()
+		res.CapOps = v.CapOps()
+		res.Err = err
+	}
+}
+
+// Replay executes the trace on a VPE against the named service.
+func Replay(v *core.VPE, p *sim.Proc, tr *trace.Trace, service, prefix string) error {
+	client, err := m3fs.Dial(p, v, service)
+	if err != nil {
+		return fmt.Errorf("replay %s: %w", tr.Name, err)
+	}
+	files := make(map[int]*m3fs.File)
+	for i, op := range tr.Ops {
+		if err := replayOp(client, p, files, prefix, op); err != nil {
+			return fmt.Errorf("replay %s op %d (%d): %w", tr.Name, i, op.Kind, err)
+		}
+	}
+	return nil
+}
+
+func replayOp(c *m3fs.Client, p *sim.Proc, files map[int]*m3fs.File, prefix string, op trace.Op) error {
+	path := prefix + "/" + op.Path
+	switch op.Kind {
+	case trace.OpCompute:
+		p.Sleep(op.Cycles)
+	case trace.OpOpen:
+		f, err := c.Open(p, path, op.Create, op.Trunc)
+		if err != nil {
+			return err
+		}
+		files[op.Slot] = f
+	case trace.OpRead:
+		f := files[op.Slot]
+		if f == nil {
+			return core.ErrBadArgs
+		}
+		if _, err := f.Read(p, op.Bytes); err != nil {
+			return err
+		}
+	case trace.OpWrite:
+		f := files[op.Slot]
+		if f == nil {
+			return core.ErrBadArgs
+		}
+		if err := f.Write(p, op.Bytes); err != nil {
+			return err
+		}
+	case trace.OpSeek:
+		f := files[op.Slot]
+		if f == nil {
+			return core.ErrBadArgs
+		}
+		f.Seek(op.Bytes)
+	case trace.OpClose:
+		f := files[op.Slot]
+		if f == nil {
+			return core.ErrBadArgs
+		}
+		delete(files, op.Slot)
+		return f.Close(p, op.Revoke)
+	case trace.OpStat:
+		if _, err := c.Stat(p, path); err != nil && err != core.ErrNoSuchCap {
+			return err
+		}
+	case trace.OpMkdir:
+		return c.Mkdir(p, path)
+	case trace.OpUnlink:
+		return c.Unlink(p, path)
+	case trace.OpReaddir:
+		_, err := c.Readdir(p, path)
+		return err
+	default:
+		return core.ErrBadArgs
+	}
+	return nil
+}
+
+// Preload populates one filesystem instance with the input files for a set
+// of instance prefixes.
+func Preload(tr *trace.Trace, prefixes []string) func(*m3fs.FS) {
+	return func(fs *m3fs.FS) {
+		for _, prefix := range prefixes {
+			fs.MustMkdirAll(prefix)
+			for _, d := range tr.Dirs {
+				fs.MustMkdirAll(prefix + "/" + d)
+			}
+			for _, f := range tr.Files {
+				fs.MustCreate(prefix+"/"+f.Path, f.Size)
+			}
+		}
+	}
+}
