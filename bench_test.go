@@ -23,7 +23,7 @@ import (
 func BenchmarkTable3ExchangeRevoke(b *testing.B) {
 	var r bench.Table3Result
 	for i := 0; i < b.N; i++ {
-		r = bench.Table3()
+		r = bench.Table3(bench.Options{})
 	}
 	b.ReportMetric(float64(r.ExchangeLocal), "exch-local-cycles")
 	b.ReportMetric(float64(r.ExchangeSpanning), "exch-span-cycles")
@@ -37,7 +37,7 @@ func BenchmarkTable3ExchangeRevoke(b *testing.B) {
 func BenchmarkFig4ChainRevocation(b *testing.B) {
 	var r bench.Fig4Result
 	for i := 0; i < b.N; i++ {
-		r = bench.Fig4(40)
+		r = bench.Fig4(bench.Options{}, 40)
 	}
 	last := len(r.Lengths) - 1
 	b.ReportMetric(float64(r.LocalSemperOS[last].Cycles), "local-cycles")
@@ -49,7 +49,7 @@ func BenchmarkFig4ChainRevocation(b *testing.B) {
 func BenchmarkFig5TreeRevocation(b *testing.B) {
 	var r bench.Fig5Result
 	for i := 0; i < b.N; i++ {
-		r = bench.Fig5(64)
+		r = bench.Fig5(bench.Options{}, 64)
 	}
 	last := len(r.Counts) - 1
 	for _, s := range r.Series {

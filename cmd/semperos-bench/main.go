@@ -3,17 +3,24 @@
 //
 // Usage:
 //
-//	semperos-bench -experiment all            # everything, paper scale
-//	semperos-bench -experiment table3,fig4    # selected experiments
-//	semperos-bench -experiment fig6 -quick    # reduced scale
+//	semperos-bench -experiment all              # everything, paper scale
+//	semperos-bench -experiment table3,fig4      # selected experiments
+//	semperos-bench -experiment fig6 -quick      # reduced scale
+//	semperos-bench -quick -parallel 4 -json out.json
 //
-// Experiments: table3, fig4, fig5, table4, fig6, fig7, fig8, fig9, fig10.
+// Experiments: table3, fig4, fig5, table4, fig6, fig7, fig8, fig9, fig10,
+// ablation. Independent experiment configurations run on a worker pool
+// (-parallel, default GOMAXPROCS); all simulated metrics are deterministic
+// and independent of the parallelism. -json writes every experiment run as
+// a machine-readable record (schema semperos-bench/v1, see
+// internal/bench/report.go).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,12 +30,21 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all", "comma-separated list: table3,fig4,fig5,table4,fig6,fig7,fig8,fig9,fig10,ablation,all")
 	quick := flag.Bool("quick", false, "run at reduced scale (64 instances, 8 kernels)")
+	parallel := flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	flag.Parse()
 
 	opts := bench.Full()
 	if *quick {
 		opts = bench.Quick()
 	}
+	opts.Parallel = *parallel
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	report := bench.NewReport(*quick, workers)
+	opts.Report = report
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiment, ",") {
@@ -36,6 +52,7 @@ func main() {
 	}
 	all := want["all"]
 	ran := 0
+	total := time.Duration(0)
 	run := func(name string, fn func()) {
 		if !all && !want[name] {
 			return
@@ -43,12 +60,14 @@ func main() {
 		ran++
 		start := time.Now()
 		fn()
-		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		total += elapsed
+		fmt.Printf("[%s took %v]\n\n", name, elapsed.Round(time.Millisecond))
 	}
 
-	run("table3", func() { bench.Table3().Print(os.Stdout) })
-	run("fig4", func() { bench.Fig4(100).Print(os.Stdout) })
-	run("fig5", func() { bench.Fig5(128).Print(os.Stdout) })
+	run("table3", func() { bench.Table3(opts).Print(os.Stdout) })
+	run("fig4", func() { bench.Fig4(opts, 100).Print(os.Stdout) })
+	run("fig5", func() { bench.Fig5(opts, 128).Print(os.Stdout) })
 	run("table4", func() { bench.Table4(opts).Print(os.Stdout) })
 	run("fig6", func() { bench.Fig6(opts).Print(os.Stdout) })
 	run("fig7", func() {
@@ -67,11 +86,19 @@ func main() {
 		}
 	})
 	run("fig10", func() { bench.Fig10(opts).Print(os.Stdout) })
-	run("ablation", func() { bench.AblationBatching(128, 12).Print(os.Stdout) })
+	run("ablation", func() { bench.AblationBatching(opts, 128, 12).Print(os.Stdout) })
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		flag.Usage()
 		os.Exit(2)
+	}
+	fmt.Printf("[%d experiments, %d workers, total %v]\n", ran, workers, total.Round(time.Millisecond))
+	if *jsonPath != "" {
+		if err := report.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %d results to %s]\n", report.Len(), *jsonPath)
 	}
 }

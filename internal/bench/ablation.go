@@ -105,22 +105,53 @@ func ablationTreeRevoke(n, extra int, batching bool) (sim.Duration, uint64) {
 }
 
 // AblationBatching measures tree revocation with and without message
-// batching, spreading the children over 1+extra kernels.
-func AblationBatching(maxKids, extra int) AblationResult {
+// batching, spreading the children over 1+extra kernels. Every (breadth,
+// variant) cell is an independent simulation run on the harness pool.
+func AblationBatching(o Options, maxKids, extra int) AblationResult {
 	if maxKids <= 0 {
 		maxKids = 128
 	}
 	if extra <= 0 {
 		extra = 12
 	}
-	r := AblationResult{ExtraKernels: extra}
+	var breadths []int
 	for n := 16; n <= maxKids; n += 16 {
-		pc, pm := ablationTreeRevoke(n, extra, false)
-		bc, bm := ablationTreeRevoke(n, extra, true)
+		breadths = append(breadths, n)
+	}
+	tasks := make([]Task, 0, 2*len(breadths))
+	msgs := make([]uint64, 2*len(breadths))
+	for i, n := range breadths {
+		i, n := i, n
+		for vi, batching := range []bool{false, true} {
+			vi, batching := vi, batching
+			name := "ablation/plain"
+			if batching {
+				name = "ablation/batched"
+			}
+			tasks = append(tasks, Task{
+				Experiment: name,
+				Config:     ExpConfig{Kernels: extra + 1, Instances: n},
+				Run: func() (Metrics, error) {
+					c, m := ablationTreeRevoke(n, extra, batching)
+					msgs[2*i+vi] = m
+					return Metrics{Cycles: uint64(c)}, nil
+				},
+			})
+		}
+	}
+	rs := RunTasks(o.Parallel, tasks)
+	mustOK(rs)
+	r := AblationResult{ExtraKernels: extra}
+	for i, n := range breadths {
 		r.Rows = append(r.Rows, AblationRow{
-			Children: n, PlainCycles: pc, BatchedCycles: bc, PlainMsgs: pm, BatchedMsgs: bm,
+			Children:      n,
+			PlainCycles:   sim.Duration(rs[2*i].Metrics.Cycles),
+			BatchedCycles: sim.Duration(rs[2*i+1].Metrics.Cycles),
+			PlainMsgs:     msgs[2*i],
+			BatchedMsgs:   msgs[2*i+1],
 		})
 	}
+	o.record(rs)
 	return r
 }
 

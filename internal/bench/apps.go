@@ -21,6 +21,13 @@ type Options struct {
 	// MaxInstances*? — concretely the multiples used: 1..8 of
 	// MaxInstances/8.
 	InstanceSteps []int
+	// Parallel is the experiment worker-pool size (0 = GOMAXPROCS). Every
+	// experiment configuration runs on its own sim.Engine, so all simulated
+	// metrics are independent of Parallel; only wallclock changes.
+	Parallel int
+	// Report, when non-nil, collects one Result per experiment run for the
+	// machine-readable JSON report (see report.go).
+	Report *Report
 }
 
 // Full returns the paper-scale options.
@@ -81,20 +88,24 @@ type Table4Result struct {
 
 // Table4 measures capability-operation counts and rates for 1 and N
 // parallel instances (paper: 512 instances, 64 kernels + 64 services).
+// All 2x6 runs execute in parallel on the harness.
 func Table4(o Options) Table4Result {
 	kernels, services := o.scaleCfg(64, 64)
 	res := Table4Result{N: o.MaxInstances}
-	for _, tr := range trace.All() {
-		r1, err := workload.Run(workload.Config{Kernels: 1, Services: 1, Instances: 1, Trace: tr})
-		if err != nil {
-			panic(err)
-		}
-		rn, err := workload.Run(workload.Config{
-			Kernels: kernels, Services: services, Instances: o.MaxInstances, Trace: tr,
-		})
-		if err != nil {
-			panic(err)
-		}
+	traces := trace.All()
+	cfgs := make([]workload.Config, 0, 2*len(traces))
+	for _, tr := range traces {
+		cfgs = append(cfgs,
+			workload.Config{Kernels: 1, Services: 1, Instances: 1, Trace: tr},
+			workload.Config{Kernels: kernels, Services: services, Instances: o.MaxInstances, Trace: tr})
+	}
+	full, rs := o.runWorkloads("table4", cfgs)
+	for i, tr := range traces {
+		r1, rn := full[2*i], full[2*i+1]
+		// Table 4's headline cycle metric is the makespan (the denominator
+		// of the ops/s rate), not the mean instance runtime.
+		rs[2*i].Metrics.Cycles = uint64(r1.Makespan)
+		rs[2*i+1].Metrics.Cycles = uint64(rn.Makespan)
 		res.Rows = append(res.Rows, Table4Row{
 			Name:     tr.Name,
 			CapOps1:  r1.TotalCapOps,
@@ -104,6 +115,7 @@ func Table4(o Options) Table4Result {
 			PaperOps: tr.WantCapOps,
 		})
 	}
+	o.record(rs)
 	return res
 }
 
@@ -158,52 +170,53 @@ func (r EffResult) Print(w io.Writer) {
 }
 
 // efficiencySweep measures parallel efficiency over instance counts for a
-// fixed kernel/service configuration. The single-instance baseline is
-// measured once per configuration.
-func efficiencySweep(tr *trace.Trace, kernels, services int, steps []int) []EffPoint {
-	r1, err := workload.Run(workload.Config{Kernels: kernels, Services: services, Instances: 1, Trace: tr})
-	if err != nil {
-		panic(err)
-	}
-	alone := r1.MeanRuntime()
-	var pts []EffPoint
-	for _, n := range steps {
-		rn, err := workload.Run(workload.Config{Kernels: kernels, Services: services, Instances: n, Trace: tr})
-		if err != nil {
-			panic(err)
-		}
-		pts = append(pts, EffPoint{Instances: n, Efficiency: float64(alone) / float64(rn.MeanRuntime())})
-	}
-	return pts
+// fixed kernel/service configuration; the single-instance baseline and the
+// points all run in parallel. Figures batch several sweeps into one harness
+// run via runEffSweeps instead.
+func (o Options) efficiencySweep(tr *trace.Trace, kernels, services int, steps []int) []EffPoint {
+	return o.runEffSweeps("sweep", []sweepSpec{{tr: tr, kernels: kernels, services: services, steps: steps}})[0]
 }
 
 // Fig6 measures parallel efficiency of all six applications at 32 kernels
-// and 32 services (paper Figure 6).
+// and 32 services (paper Figure 6). All six sweeps share one task batch.
 func Fig6(o Options) EffResult {
 	kernels, services := o.scaleCfg(32, 32)
 	res := EffResult{Title: fmt.Sprintf("Figure 6: Parallel efficiency, %d kernels + %d services", kernels, services)}
-	for _, tr := range trace.All() {
-		res.Series = append(res.Series, EffSeries{
-			Label:  tr.Name,
-			Points: efficiencySweep(tr, kernels, services, o.InstanceSteps),
-		})
+	traces := trace.All()
+	specs := make([]sweepSpec, len(traces))
+	for i, tr := range traces {
+		specs[i] = sweepSpec{tr: tr, kernels: kernels, services: services, steps: o.InstanceSteps}
+	}
+	pts := o.runEffSweeps("fig6", specs)
+	for i, tr := range traces {
+		res.Series = append(res.Series, EffSeries{Label: tr.Name, Points: pts[i]})
 	}
 	return res
 }
 
 // Fig7 measures service dependence: tar and SQLite at max kernels with a
-// growing number of services (paper Figure 7).
+// growing number of services (paper Figure 7). Both traces and all service
+// counts form one task batch.
 func Fig7(o Options) []EffResult {
 	kernels, _ := o.scaleCfg(64, 64)
 	svcCounts := []int{4, 8, 16, 32, 48, 64}
-	var out []EffResult
-	for _, tr := range []*trace.Trace{trace.Tar(), trace.SQLite()} {
-		res := EffResult{Title: fmt.Sprintf("Figure 7 (%s): service dependence, %d kernels", tr.Name, kernels)}
+	traces := []*trace.Trace{trace.Tar(), trace.SQLite()}
+	var specs []sweepSpec
+	for _, tr := range traces {
 		for _, s := range svcCounts {
 			_, services := o.scaleCfg(64, s)
+			specs = append(specs, sweepSpec{tr: tr, kernels: kernels, services: services, steps: o.sparseSteps()})
+		}
+	}
+	pts := o.runEffSweeps("fig7", specs)
+	var out []EffResult
+	for ti, tr := range traces {
+		res := EffResult{Title: fmt.Sprintf("Figure 7 (%s): service dependence, %d kernels", tr.Name, kernels)}
+		for si := range svcCounts {
+			sp := specs[ti*len(svcCounts)+si]
 			res.Series = append(res.Series, EffSeries{
-				Label:  fmt.Sprintf("%dK %dS", kernels, services),
-				Points: efficiencySweep(tr, kernels, services, o.sparseSteps()),
+				Label:  fmt.Sprintf("%dK %dS", sp.kernels, sp.services),
+				Points: pts[ti*len(svcCounts)+si],
 			})
 		}
 		out = append(out, res)
@@ -216,14 +229,23 @@ func Fig7(o Options) []EffResult {
 func Fig8(o Options) []EffResult {
 	_, services := o.scaleCfg(64, 64)
 	kCounts := []int{4, 8, 16, 32, 48, 64}
-	var out []EffResult
-	for _, tr := range []*trace.Trace{trace.PostMark(), trace.LevelDB()} {
-		res := EffResult{Title: fmt.Sprintf("Figure 8 (%s): kernel dependence, %d services", tr.Name, services)}
+	traces := []*trace.Trace{trace.PostMark(), trace.LevelDB()}
+	var specs []sweepSpec
+	for _, tr := range traces {
 		for _, k := range kCounts {
 			kernels, _ := o.scaleCfg(k, 64)
+			specs = append(specs, sweepSpec{tr: tr, kernels: kernels, services: services, steps: o.sparseSteps()})
+		}
+	}
+	pts := o.runEffSweeps("fig8", specs)
+	var out []EffResult
+	for ti, tr := range traces {
+		res := EffResult{Title: fmt.Sprintf("Figure 8 (%s): kernel dependence, %d services", tr.Name, services)}
+		for ki := range kCounts {
+			sp := specs[ti*len(kCounts)+ki]
 			res.Series = append(res.Series, EffSeries{
-				Label:  fmt.Sprintf("%dK %dS", kernels, services),
-				Points: efficiencySweep(tr, kernels, services, o.sparseSteps()),
+				Label:  fmt.Sprintf("%dK %dS", sp.kernels, sp.services),
+				Points: pts[ti*len(kCounts)+ki],
 			})
 		}
 		out = append(out, res)
@@ -265,6 +287,7 @@ func (r Fig9Result) Print(w io.Writer) {
 
 // Fig9 measures system efficiency (OS PEs count as zero) for PostMark and
 // SQLite across OS configurations and machine sizes (paper Figure 9).
+// Every baseline and machine-size run across both traces is one task batch.
 func Fig9(o Options) []Fig9Result {
 	configs := []struct{ k, s int }{
 		{8, 8}, {16, 16}, {32, 16}, {32, 32}, {48, 32}, {64, 32},
@@ -273,40 +296,64 @@ func Fig9(o Options) []Fig9Result {
 	if o.MaxInstances < 512 {
 		peCounts = []int{32, 64, 96, 128}
 	}
-	var out []Fig9Result
-	for _, tr := range []*trace.Trace{trace.PostMark(), trace.SQLite()} {
-		res := Fig9Result{Title: fmt.Sprintf("Figure 9 (%s): system efficiency", tr.Name)}
+	traces := []*trace.Trace{trace.PostMark(), trace.SQLite()}
+
+	// Flatten every run into one config list, remembering the layout:
+	// per (trace, config): baseline index, then the (pes, run index) points.
+	type seriesPlan struct {
+		tr               *trace.Trace
+		kernels, service int
+		baseIdx          int
+		pes              []int
+		runIdx           []int
+	}
+	var cfgs []workload.Config
+	var plans []seriesPlan
+	for _, tr := range traces {
 		for _, cfg := range configs {
 			kernels, services := o.scaleCfg(cfg.k, cfg.s)
-			s := SysEffSeries{
-				Label:    fmt.Sprintf("%dK %dS", kernels, services),
-				Kernels:  kernels,
-				Services: services,
-			}
-			r1, err := workload.Run(workload.Config{Kernels: kernels, Services: services, Instances: 1, Trace: tr})
-			if err != nil {
-				panic(err)
-			}
-			alone := r1.MeanRuntime()
+			pl := seriesPlan{tr: tr, kernels: kernels, service: services, baseIdx: len(cfgs)}
+			cfgs = append(cfgs, workload.Config{Kernels: kernels, Services: services, Instances: 1, Trace: tr})
 			for _, pes := range peCounts {
 				instances := pes - kernels - services
 				if instances < 1 {
 					continue
 				}
-				rn, err := workload.Run(workload.Config{Kernels: kernels, Services: services, Instances: instances, Trace: tr})
-				if err != nil {
-					panic(err)
-				}
-				eff := float64(alone) / float64(rn.MeanRuntime())
-				s.Points = append(s.Points, SysEffPoint{
-					PEs:        pes,
-					Efficiency: workload.SystemEfficiency(eff, kernels, services, instances),
-				})
+				pl.pes = append(pl.pes, pes)
+				pl.runIdx = append(pl.runIdx, len(cfgs))
+				cfgs = append(cfgs, workload.Config{Kernels: kernels, Services: services, Instances: instances, Trace: tr})
+			}
+			plans = append(plans, pl)
+		}
+	}
+	_, rs := o.runWorkloads("fig9", cfgs)
+
+	var out []Fig9Result
+	pi := 0
+	for _, tr := range traces {
+		res := Fig9Result{Title: fmt.Sprintf("Figure 9 (%s): system efficiency", tr.Name)}
+		for range configs {
+			pl := plans[pi]
+			pi++
+			s := SysEffSeries{
+				Label:    fmt.Sprintf("%dK %dS", pl.kernels, pl.service),
+				Kernels:  pl.kernels,
+				Services: pl.service,
+			}
+			alone := rs[pl.baseIdx].Metrics.Cycles
+			rs[pl.baseIdx].Metrics.Efficiency = 1
+			for j, pes := range pl.pes {
+				r := &rs[pl.runIdx[j]]
+				eff := float64(alone) / float64(r.Metrics.Cycles)
+				sysEff := workload.SystemEfficiency(eff, pl.kernels, pl.service, pes-pl.kernels-pl.service)
+				r.Metrics.Efficiency = sysEff
+				s.Points = append(s.Points, SysEffPoint{PEs: pes, Efficiency: sysEff})
 			}
 			res.Series = append(res.Series, s)
 		}
 		out = append(out, res)
 	}
+	o.record(rs)
 	return out
 }
 
@@ -343,7 +390,8 @@ func (r Fig10Result) Print(w io.Writer) {
 }
 
 // Fig10 measures Nginx scalability over server process counts and OS
-// configurations (paper Figure 10).
+// configurations (paper Figure 10). Every (config, servers) cell is an
+// independent simulation and runs on the harness pool.
 func Fig10(o Options) Fig10Result {
 	configs := []struct{ k, s int }{
 		{8, 8}, {8, 16}, {8, 32}, {16, 16}, {32, 16}, {32, 32},
@@ -352,21 +400,41 @@ func Fig10(o Options) Fig10Result {
 	if o.MaxInstances < 512 {
 		serverCounts = []int{8, 16, 24, 32}
 	}
-	res := Fig10Result{Title: "Figure 10: Scalability of the Nginx webserver"}
+	var ncfgs []workload.NginxConfig
 	for _, cfg := range configs {
 		kernels, services := o.scaleCfg(cfg.k, cfg.s)
-		s := NginxSeries{Label: fmt.Sprintf("%dK %dS", kernels, services)}
 		for _, n := range serverCounts {
-			r, err := workload.RunNginx(workload.NginxConfig{
-				Kernels: kernels, Services: services, Servers: n,
-			})
-			if err != nil {
-				panic(err)
-			}
-			s.Points = append(s.Points, NginxPoint{Servers: n, ReqPerS: r.RequestsPerSecond()})
+			ncfgs = append(ncfgs, workload.NginxConfig{Kernels: kernels, Services: services, Servers: n})
+		}
+	}
+	full := make([]*workload.NginxResult, len(ncfgs))
+	tasks := make([]Task, len(ncfgs))
+	for i, nc := range ncfgs {
+		i, nc := i, nc
+		tasks[i] = Task{
+			Experiment: "fig10",
+			Config:     ExpConfig{Kernels: nc.Kernels, Services: nc.Services, Instances: nc.Servers},
+			Run: func() (Metrics, error) {
+				r, err := workload.RunNginx(nc)
+				if err != nil {
+					return Metrics{}, err
+				}
+				full[i] = r
+				return Metrics{Cycles: uint64(r.Duration), CapOps: r.TotalCapOps}, nil
+			},
+		}
+	}
+	rs := RunTasks(o.Parallel, tasks)
+	mustOK(rs)
+	res := Fig10Result{Title: "Figure 10: Scalability of the Nginx webserver"}
+	for ci := range configs {
+		s := NginxSeries{Label: fmt.Sprintf("%dK %dS", ncfgs[ci*len(serverCounts)].Kernels, ncfgs[ci*len(serverCounts)].Services)}
+		for si, n := range serverCounts {
+			s.Points = append(s.Points, NginxPoint{Servers: n, ReqPerS: full[ci*len(serverCounts)+si].RequestsPerSecond()})
 		}
 		res.Series = append(res.Series, s)
 	}
+	o.record(rs)
 	return res
 }
 
@@ -374,10 +442,15 @@ func Fig10(o Options) Fig10Result {
 // 70-78% parallel efficiency at 512 instances with 11% of PEs for the OS.
 func parallelEfficiencyBand(o Options) (lo, hi float64) {
 	kernels, services := o.scaleCfg(32, 32)
+	traces := trace.All()
+	specs := make([]sweepSpec, len(traces))
+	for i, tr := range traces {
+		specs[i] = sweepSpec{tr: tr, kernels: kernels, services: services, steps: []int{o.MaxInstances}}
+	}
+	pts := o.runEffSweeps("band", specs)
 	lo, hi = 2.0, 0.0
-	for _, tr := range trace.All() {
-		pts := efficiencySweep(tr, kernels, services, []int{o.MaxInstances})
-		e := pts[0].Efficiency
+	for i := range traces {
+		e := pts[i][0].Efficiency
 		if e < lo {
 			lo = e
 		}

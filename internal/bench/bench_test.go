@@ -12,7 +12,7 @@ import (
 // group-spanning operations roughly double the local ones, and SemperOS
 // carries a moderate DDL overhead over M3.
 func TestTable3MatchesPaperShape(t *testing.T) {
-	r := Table3()
+	r := Table3(Options{})
 	// Paper: 3597 / 6484 / 1997 / 3876 cycles; M3 3250 / 1423.
 	within := func(name string, got, want uint64, tolPct float64) {
 		t.Helper()
@@ -40,7 +40,7 @@ func TestTable3MatchesPaperShape(t *testing.T) {
 // with chain length; the spanning chain costs about 3x the local one; M3 is
 // roughly half of SemperOS locally.
 func TestFig4Shape(t *testing.T) {
-	r := Fig4(30)
+	r := Fig4(Options{}, 30)
 	last := len(r.Lengths) - 1
 	localSlope := float64(r.LocalSemperOS[last].Cycles-r.LocalSemperOS[0].Cycles) / float64(r.Lengths[last])
 	spanSlope := float64(r.SpanningChain[last].Cycles-r.SpanningChain[0].Cycles) / float64(r.Lengths[last])
@@ -66,7 +66,7 @@ func TestFig5BreakEven(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	r := Fig5(128)
+	r := Fig5(Options{}, 128)
 	series := map[int][]ChainPoint{}
 	for _, s := range r.Series {
 		series[s.ExtraKernels] = s.Points
@@ -127,7 +127,7 @@ func TestEfficiencyBandQuick(t *testing.T) {
 func TestFig6QuickShape(t *testing.T) {
 	o := Quick()
 	o.InstanceSteps = []int{16, 64}
-	pts := efficiencySweep(trace.PostMark(), o.Kernels64/2, o.Kernels64/2, o.InstanceSteps)
+	pts := o.efficiencySweep(trace.PostMark(), o.Kernels64/2, o.Kernels64/2, o.InstanceSteps)
 	if pts[1].Efficiency > pts[0].Efficiency*1.05 {
 		t.Errorf("efficiency rose with load: %.2f -> %.2f", pts[0].Efficiency, pts[1].Efficiency)
 	}
@@ -137,8 +137,8 @@ func TestFig6QuickShape(t *testing.T) {
 // workload.
 func TestFig7ServiceDependenceQuick(t *testing.T) {
 	tr := trace.SQLite()
-	few := efficiencySweep(tr, 8, 1, []int{48})
-	many := efficiencySweep(tr, 8, 8, []int{48})
+	few := Options{}.efficiencySweep(tr, 8, 1, []int{48})
+	many := Options{}.efficiencySweep(tr, 8, 8, []int{48})
 	if many[0].Efficiency <= few[0].Efficiency {
 		t.Errorf("8 services (%.2f) not better than 1 (%.2f)", many[0].Efficiency, few[0].Efficiency)
 	}
@@ -148,8 +148,8 @@ func TestFig7ServiceDependenceQuick(t *testing.T) {
 // workload.
 func TestFig8KernelDependenceQuick(t *testing.T) {
 	tr := trace.PostMark()
-	few := efficiencySweep(tr, 1, 8, []int{48})
-	many := efficiencySweep(tr, 8, 8, []int{48})
+	few := Options{}.efficiencySweep(tr, 1, 8, []int{48})
+	many := Options{}.efficiencySweep(tr, 8, 8, []int{48})
 	if many[0].Efficiency <= few[0].Efficiency {
 		t.Errorf("8 kernels (%.2f) not better than 1 (%.2f)", many[0].Efficiency, few[0].Efficiency)
 	}
@@ -175,8 +175,8 @@ func TestFig10QuickShape(t *testing.T) {
 // TestPrinters smoke-tests the report formatting.
 func TestPrinters(t *testing.T) {
 	var sb strings.Builder
-	Table3().Print(&sb)
-	Fig4(10).Print(&sb)
+	Table3(Options{}).Print(&sb)
+	Fig4(Options{}, 10).Print(&sb)
 	r := Table4(Quick())
 	r.Print(&sb)
 	for _, want := range []string{"Table 3", "Figure 4", "Table 4", "tar", "postmark"} {

@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The parallel experiment harness. Every experiment configuration of the
+// evaluation (one cell of Table 4, one point of Figures 6-9, one breadth of
+// the ablation, ...) is an independent simulation with its own sim.Engine,
+// so the sweeps are embarrassingly parallel: the harness fans tasks out over
+// a worker pool sized by GOMAXPROCS while keeping result ordering — and thus
+// every simulated-cycle metric — identical to a serial run.
+
+// ExpConfig identifies the machine configuration of one experiment. For
+// non-workload experiments the fields map to the closest notion (e.g. the
+// ablation reports children as Instances); unused fields are zero.
+type ExpConfig struct {
+	Kernels   int `json:"kernels"`
+	Services  int `json:"services"`
+	Instances int `json:"instances"`
+}
+
+// Metrics holds the simulated measurements of one experiment. Cycles is the
+// experiment's headline simulated-time metric: mean instance runtime for the
+// efficiency sweeps, makespan for Table 4, revocation latency for the
+// microbenchmarks and the ablation, the measurement window for Figure 10.
+// Efficiency and CapOps are filled where the experiment defines them. All
+// three are simulated quantities and therefore deterministic; only
+// wallclock varies between runs.
+type Metrics struct {
+	Cycles     uint64  `json:"cycles"`
+	Efficiency float64 `json:"efficiency"`
+	CapOps     uint64  `json:"capops"`
+}
+
+// Task is one independent experiment: Run builds its own simulation (its
+// own sim.Engine) and returns the measured metrics. Tasks must not share
+// mutable state with each other.
+type Task struct {
+	Experiment string
+	Config     ExpConfig
+	Run        func() (Metrics, error)
+}
+
+// Result is the outcome of one Task. It is the unit of the machine-readable
+// report (see report.go for the serialization layer).
+type Result struct {
+	Experiment  string    `json:"experiment"`
+	Config      ExpConfig `json:"config"`
+	Metrics     Metrics   `json:"metrics"`
+	WallclockNS int64     `json:"wallclock_ns"`
+	Error       string    `json:"error,omitempty"`
+}
+
+// RunTasks executes the tasks on a pool of `parallel` workers (<= 0 means
+// GOMAXPROCS) and returns one Result per task, in task order regardless of
+// completion order. A task that panics is captured as an error Result
+// instead of tearing down the whole sweep.
+func RunTasks(parallel int, tasks []Task) []Result {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(tasks) {
+		parallel = len(tasks)
+	}
+	results := make([]Result, len(tasks))
+	if len(tasks) == 0 {
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runTask(tasks[i])
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runTask executes one task, capturing wallclock and panics.
+func runTask(t Task) (res Result) {
+	res = Result{Experiment: t.Experiment, Config: t.Config}
+	start := time.Now()
+	defer func() {
+		res.WallclockNS = time.Since(start).Nanoseconds()
+		if r := recover(); r != nil {
+			res.Error = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	m, err := t.Run()
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Metrics = m
+	return res
+}
+
+// mustOK panics on the first failed result, preserving the historical
+// fail-fast behavior of the sweeps (a broken experiment is a bug, not data).
+func mustOK(rs []Result) {
+	for _, r := range rs {
+		if r.Error != "" {
+			panic(fmt.Sprintf("bench: experiment %s %+v failed: %s", r.Experiment, r.Config, r.Error))
+		}
+	}
+}
+
+// runWorkloads executes one workload.Run per config on the harness pool and
+// returns the full results in config order, plus one harness Result per run
+// (Cycles = mean instance runtime, CapOps = total capability operations).
+// Callers may patch the Results (e.g. fill Efficiency) before recording
+// them. It panics on the first experiment error.
+func (o Options) runWorkloads(experiment string, cfgs []workload.Config) ([]*workload.Result, []Result) {
+	full := make([]*workload.Result, len(cfgs))
+	tasks := make([]Task, len(cfgs))
+	for i, cfg := range cfgs {
+		i, cfg := i, cfg
+		name := experiment
+		if cfg.Trace != nil {
+			name = experiment + "/" + cfg.Trace.Name
+		}
+		tasks[i] = Task{
+			Experiment: name,
+			Config:     ExpConfig{Kernels: cfg.Kernels, Services: cfg.Services, Instances: cfg.Instances},
+			Run: func() (Metrics, error) {
+				r, err := workload.Run(cfg)
+				if err != nil {
+					return Metrics{}, err
+				}
+				full[i] = r
+				return Metrics{Cycles: uint64(r.MeanRuntime()), CapOps: r.TotalCapOps}, nil
+			},
+		}
+	}
+	rs := RunTasks(o.Parallel, tasks)
+	mustOK(rs)
+	return full, rs
+}
+
+// record appends results to the report, when one is attached.
+func (o Options) record(rs []Result) {
+	if o.Report != nil {
+		o.Report.Add(rs...)
+	}
+}
+
+// sweepSpec describes one efficiency sweep: a 1-instance baseline plus one
+// run per instance step, all with the same kernel/service configuration.
+type sweepSpec struct {
+	tr       *trace.Trace
+	kernels  int
+	services int
+	steps    []int
+}
+
+// runEffSweeps runs several efficiency sweeps as one parallel task batch:
+// every baseline and every point across all sweeps is an independent
+// simulation, so a whole figure saturates the pool at once. For each sweep
+// it returns the (instances, alone/parallel) points in step order and
+// records one Result per run with Efficiency filled on the sweep points.
+func (o Options) runEffSweeps(experiment string, specs []sweepSpec) [][]EffPoint {
+	var cfgs []workload.Config
+	offsets := make([]int, len(specs))
+	for si, sp := range specs {
+		offsets[si] = len(cfgs)
+		cfgs = append(cfgs, workload.Config{Kernels: sp.kernels, Services: sp.services, Instances: 1, Trace: sp.tr})
+		for _, n := range sp.steps {
+			cfgs = append(cfgs, workload.Config{Kernels: sp.kernels, Services: sp.services, Instances: n, Trace: sp.tr})
+		}
+	}
+	_, rs := o.runWorkloads(experiment, cfgs)
+	out := make([][]EffPoint, len(specs))
+	for si, sp := range specs {
+		base := offsets[si]
+		alone := rs[base].Metrics.Cycles
+		rs[base].Metrics.Efficiency = 1
+		pts := make([]EffPoint, 0, len(sp.steps))
+		for j, n := range sp.steps {
+			r := &rs[base+1+j]
+			eff := float64(alone) / float64(r.Metrics.Cycles)
+			r.Metrics.Efficiency = eff
+			pts = append(pts, EffPoint{Instances: n, Efficiency: eff})
+		}
+		out[si] = pts
+	}
+	o.record(rs)
+	return out
+}

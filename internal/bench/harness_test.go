@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestRunTasksOrdering: results come back in task order even when tasks
+// complete in reverse order.
+func TestRunTasksOrdering(t *testing.T) {
+	const n = 16
+	tasks := make([]Task, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = Task{
+			Experiment: fmt.Sprintf("t%d", i),
+			Run: func() (Metrics, error) {
+				return Metrics{Cycles: uint64(i)}, nil
+			},
+		}
+	}
+	for _, parallel := range []int{1, 4, n} {
+		rs := RunTasks(parallel, tasks)
+		if len(rs) != n {
+			t.Fatalf("parallel=%d: got %d results, want %d", parallel, len(rs), n)
+		}
+		for i, r := range rs {
+			if r.Experiment != fmt.Sprintf("t%d", i) || r.Metrics.Cycles != uint64(i) {
+				t.Errorf("parallel=%d: result %d = %q/%d, want t%d/%d",
+					parallel, i, r.Experiment, r.Metrics.Cycles, i, i)
+			}
+		}
+	}
+}
+
+// TestRunTasksPanicCapture: a panicking task becomes an error result and
+// does not take down its worker (later tasks still run).
+func TestRunTasksPanicCapture(t *testing.T) {
+	tasks := []Task{
+		{Experiment: "boom", Run: func() (Metrics, error) { panic("kaboom") }},
+		{Experiment: "err", Run: func() (Metrics, error) { return Metrics{}, errors.New("nope") }},
+		{Experiment: "ok", Run: func() (Metrics, error) { return Metrics{Cycles: 7}, nil }},
+	}
+	rs := RunTasks(1, tasks)
+	if rs[0].Error == "" || rs[0].Error != "panic: kaboom" {
+		t.Errorf("panic not captured: %q", rs[0].Error)
+	}
+	if rs[1].Error != "nope" {
+		t.Errorf("error not captured: %q", rs[1].Error)
+	}
+	if rs[2].Error != "" || rs[2].Metrics.Cycles != 7 {
+		t.Errorf("healthy task corrupted: %+v", rs[2])
+	}
+}
+
+// TestParallelDeterminism: the simulated metrics of a sweep are identical
+// at -parallel 1 and -parallel 4 — the acceptance criterion of the harness.
+func TestParallelDeterminism(t *testing.T) {
+	sweep := func(parallel int) []Result {
+		o := Quick()
+		o.Parallel = parallel
+		o.Report = NewReport(true, parallel)
+		o.runEffSweeps("det", []sweepSpec{
+			{tr: trace.Tar(), kernels: 2, services: 2, steps: []int{8, 16}},
+			{tr: trace.PostMark(), kernels: 2, services: 2, steps: []int{8, 16}},
+		})
+		return o.Report.Results
+	}
+	serial, parallel := sweep(1), sweep(4)
+	if len(serial) != len(parallel) || len(serial) == 0 {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Experiment != p.Experiment || s.Config != p.Config || s.Metrics != p.Metrics {
+			t.Errorf("result %d differs:\n  serial:   %+v\n  parallel: %+v", i, s, p)
+		}
+	}
+}
+
+// TestReportJSON: the report round-trips through JSON with the stable
+// schema fields.
+func TestReportJSON(t *testing.T) {
+	rep := NewReport(true, 4)
+	rep.Add(Result{
+		Experiment:  "fig6/tar",
+		Config:      ExpConfig{Kernels: 4, Services: 4, Instances: 16},
+		Metrics:     Metrics{Cycles: 123, Efficiency: 0.5, CapOps: 21},
+		WallclockNS: 456,
+	})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Schema   string `json:"schema"`
+		Quick    bool   `json:"quick"`
+		Parallel int    `json:"parallel"`
+		Results  []struct {
+			Experiment string `json:"experiment"`
+			Config     struct {
+				Kernels   int `json:"kernels"`
+				Services  int `json:"services"`
+				Instances int `json:"instances"`
+			} `json:"config"`
+			Metrics struct {
+				Cycles     uint64  `json:"cycles"`
+				Efficiency float64 `json:"efficiency"`
+				CapOps     uint64  `json:"capops"`
+			} `json:"metrics"`
+			WallclockNS int64 `json:"wallclock_ns"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Schema != ReportSchema {
+		t.Errorf("schema = %q, want %q", decoded.Schema, ReportSchema)
+	}
+	if len(decoded.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(decoded.Results))
+	}
+	r := decoded.Results[0]
+	if r.Experiment != "fig6/tar" || r.Config.Kernels != 4 || r.Metrics.Cycles != 123 ||
+		r.Metrics.Efficiency != 0.5 || r.Metrics.CapOps != 21 || r.WallclockNS != 456 {
+		t.Errorf("result did not round-trip: %+v", r)
+	}
+}
+
+// TestSweepRecordsEfficiency: the report entries of an efficiency sweep
+// carry the computed efficiency on the parallel points and 1.0 on the
+// baseline.
+func TestSweepRecordsEfficiency(t *testing.T) {
+	o := Quick()
+	o.Report = NewReport(true, 0)
+	pts := o.efficiencySweep(trace.Tar(), 2, 2, []int{8})
+	rs := o.Report.Results
+	if len(rs) != 2 {
+		t.Fatalf("got %d report entries, want 2", len(rs))
+	}
+	if rs[0].Config.Instances != 1 || rs[0].Metrics.Efficiency != 1 {
+		t.Errorf("baseline entry wrong: %+v", rs[0])
+	}
+	if rs[1].Config.Instances != 8 || rs[1].Metrics.Efficiency != pts[0].Efficiency {
+		t.Errorf("point entry wrong: %+v (want eff %v)", rs[1], pts[0].Efficiency)
+	}
+	if rs[1].Metrics.Efficiency <= 0 || rs[1].Metrics.Efficiency > 1.01 {
+		t.Errorf("efficiency out of range: %v", rs[1].Metrics.Efficiency)
+	}
+}
+
+// TestRunTasksCapturesProcPanic: a panic raised inside a simulated proc —
+// the dominant failure mode of a broken experiment — becomes an error
+// Result instead of tearing down the whole sweep.
+func TestRunTasksCapturesProcPanic(t *testing.T) {
+	tasks := []Task{
+		{Experiment: "sim-boom", Run: func() (Metrics, error) {
+			e := sim.NewEngine()
+			defer e.Kill()
+			e.Spawn("bad", func(p *sim.Proc) { panic("boom") })
+			e.Run()
+			return Metrics{}, nil
+		}},
+		{Experiment: "ok", Run: func() (Metrics, error) { return Metrics{Cycles: 1}, nil }},
+	}
+	rs := RunTasks(1, tasks)
+	if !strings.Contains(rs[0].Error, "boom") {
+		t.Errorf("proc panic not captured: %q", rs[0].Error)
+	}
+	if rs[1].Error != "" || rs[1].Metrics.Cycles != 1 {
+		t.Errorf("healthy task corrupted: %+v", rs[1])
+	}
+}

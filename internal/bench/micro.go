@@ -36,6 +36,7 @@ func buildPair(spanning bool) (*core.System, int, int) {
 // obtains a capability from app A, then A revokes it. It returns the
 // syscall latencies observed by the applications.
 func measureExchangeRevoke(sys *core.System, peA, peB int) (exchange, revoke sim.Duration) {
+	defer sys.Close()
 	ready := sim.NewFuture[cap.Selector](sys.Eng)
 	obtained := sim.NewFuture[struct{}](sys.Eng)
 	var vA *core.VPE
@@ -62,7 +63,6 @@ func measureExchangeRevoke(sys *core.System, peA, peB int) (exchange, revoke sim
 		obtained.Complete(struct{}{})
 	})
 	sys.Run()
-	sys.Close()
 	return exchange, revoke
 }
 
@@ -77,16 +77,54 @@ type Table3Result struct {
 }
 
 // Table3 measures exchange and revocation in the group-local and
-// group-spanning cases, for SemperOS and the M3 baseline.
-func Table3() Table3Result {
-	var r Table3Result
-	sys, a, b := buildPair(false)
-	r.ExchangeLocal, r.RevokeLocal = measureExchangeRevoke(sys, a, b)
-	sys, a, b = buildPair(true)
-	r.ExchangeSpanning, r.RevokeSpanning = measureExchangeRevoke(sys, a, b)
-	m3sys := m3.MustNew(m3.Config{UserPEs: 4})
-	r.M3Exchange, r.M3Revoke = measureExchangeRevoke(m3sys.System, 1, 2)
-	return r
+// group-spanning cases, for SemperOS and the M3 baseline. The three
+// systems are independent simulations and run in parallel.
+func Table3(o Options) Table3Result {
+	type pair struct{ exch, rev sim.Duration }
+	out := make([]pair, 3)
+	tasks := []Task{
+		{Experiment: "table3/exchange-local", Config: ExpConfig{Kernels: 2, Instances: 2}, Run: func() (Metrics, error) {
+			sys, a, b := buildPair(false)
+			e, v := measureExchangeRevoke(sys, a, b)
+			out[0] = pair{e, v}
+			return Metrics{Cycles: uint64(e)}, nil
+		}},
+		{Experiment: "table3/exchange-spanning", Config: ExpConfig{Kernels: 2, Instances: 2}, Run: func() (Metrics, error) {
+			sys, a, b := buildPair(true)
+			e, v := measureExchangeRevoke(sys, a, b)
+			out[1] = pair{e, v}
+			return Metrics{Cycles: uint64(e)}, nil
+		}},
+		{Experiment: "table3/exchange-m3", Config: ExpConfig{Kernels: 1, Instances: 2}, Run: func() (Metrics, error) {
+			m3sys := m3.MustNew(m3.Config{UserPEs: 4})
+			e, v := measureExchangeRevoke(m3sys.System, 1, 2)
+			out[2] = pair{e, v}
+			return Metrics{Cycles: uint64(e)}, nil
+		}},
+	}
+	rs := RunTasks(o.Parallel, tasks)
+	mustOK(rs)
+	// Each task measured two operations; mirror the revoke latencies as
+	// their own report entries.
+	names := []string{"table3/revoke-local", "table3/revoke-spanning", "table3/revoke-m3"}
+	for i, name := range names {
+		rev := rs[i]
+		rev.Experiment = name
+		rev.Metrics.Cycles = uint64(out[i].rev)
+		// The task's wallclock covers both measurements; charging it again
+		// here would double-count it in the trajectory.
+		rev.WallclockNS = 0
+		rs = append(rs, rev)
+	}
+	o.record(rs)
+	return Table3Result{
+		ExchangeLocal:    out[0].exch,
+		RevokeLocal:      out[0].rev,
+		ExchangeSpanning: out[1].exch,
+		RevokeSpanning:   out[1].rev,
+		M3Exchange:       out[2].exch,
+		M3Revoke:         out[2].rev,
+	}
 }
 
 // Print writes the table in the paper's layout.
@@ -126,6 +164,7 @@ type Fig4Result struct {
 // With alternate=true consecutive VPEs live in different PE groups,
 // creating the paper's ill-behaved cross-kernel ping-pong chain.
 func buildChainAndRevoke(sys *core.System, pes []int, length int, alternate bool) sim.Duration {
+	defer sys.Close()
 	order := make([]int, length+1)
 	if alternate {
 		half := (len(pes) + 1) / 2
@@ -187,29 +226,46 @@ func buildChainAndRevoke(sys *core.System, pes []int, length int, alternate bool
 		})
 	}
 	sys.Run()
-	sys.Close()
 	return revTime
 }
 
 // Fig4 measures chain revocation for chain lengths 0..maxLen (step 10).
-func Fig4(maxLen int) Fig4Result {
+// Every (length, variant) cell builds its own system inside its task, so
+// the whole figure is one parallel batch.
+func Fig4(o Options, maxLen int) Fig4Result {
 	if maxLen <= 0 {
 		maxLen = 100
 	}
-	r := Fig4Result{}
+	var lengths []int
 	for l := 0; l <= maxLen; l += 10 {
-		r.Lengths = append(r.Lengths, l)
-
-		sys := core.MustNew(core.Config{Kernels: 2, UserPEs: maxLen + 2})
-		pes := sys.UserPEs()
-		r.LocalSemperOS = append(r.LocalSemperOS, ChainPoint{l, buildChainAndRevoke(sys, pes, l, false)})
-
-		sys = core.MustNew(core.Config{Kernels: 2, UserPEs: maxLen + 2})
-		r.SpanningChain = append(r.SpanningChain, ChainPoint{l, buildChainAndRevoke(sys, sys.UserPEs(), l, true)})
-
-		m3sys := m3.MustNew(m3.Config{UserPEs: maxLen + 2})
-		r.LocalM3 = append(r.LocalM3, ChainPoint{l, buildChainAndRevoke(m3sys.System, m3sys.UserPEs(), l, false)})
+		lengths = append(lengths, l)
 	}
+	tasks := make([]Task, 0, 3*len(lengths))
+	for _, l := range lengths {
+		l := l
+		tasks = append(tasks,
+			Task{Experiment: "fig4/local", Config: ExpConfig{Kernels: 2, Instances: l}, Run: func() (Metrics, error) {
+				sys := core.MustNew(core.Config{Kernels: 2, UserPEs: maxLen + 2})
+				return Metrics{Cycles: uint64(buildChainAndRevoke(sys, sys.UserPEs(), l, false))}, nil
+			}},
+			Task{Experiment: "fig4/spanning", Config: ExpConfig{Kernels: 2, Instances: l}, Run: func() (Metrics, error) {
+				sys := core.MustNew(core.Config{Kernels: 2, UserPEs: maxLen + 2})
+				return Metrics{Cycles: uint64(buildChainAndRevoke(sys, sys.UserPEs(), l, true))}, nil
+			}},
+			Task{Experiment: "fig4/m3", Config: ExpConfig{Kernels: 1, Instances: l}, Run: func() (Metrics, error) {
+				m3sys := m3.MustNew(m3.Config{UserPEs: maxLen + 2})
+				return Metrics{Cycles: uint64(buildChainAndRevoke(m3sys.System, m3sys.UserPEs(), l, false))}, nil
+			}})
+	}
+	rs := RunTasks(o.Parallel, tasks)
+	mustOK(rs)
+	r := Fig4Result{Lengths: lengths}
+	for i, l := range lengths {
+		r.LocalSemperOS = append(r.LocalSemperOS, ChainPoint{l, sim.Duration(rs[3*i].Metrics.Cycles)})
+		r.SpanningChain = append(r.SpanningChain, ChainPoint{l, sim.Duration(rs[3*i+1].Metrics.Cycles)})
+		r.LocalM3 = append(r.LocalM3, ChainPoint{l, sim.Duration(rs[3*i+2].Metrics.Cycles)})
+	}
+	o.record(rs)
 	return r
 }
 
@@ -247,6 +303,7 @@ func buildTreeAndRevoke(n, extra int) sim.Duration {
 		perGroup = (n+extra-1)/extra + 1
 	}
 	sys := core.MustNew(core.Config{Kernels: kernels, UserPEs: kernels * perGroup})
+	defer sys.Close()
 	pes := sys.UserPEs()
 	// Group 0's first PE hosts the root; children are placed round-robin
 	// over the extra kernels (or locally if extra == 0).
@@ -293,13 +350,12 @@ func buildTreeAndRevoke(n, extra int) sim.Duration {
 		})
 	}
 	sys.Run()
-	sys.Close()
 	return revTime
 }
 
 // Fig5 measures tree revocation for child counts 0..maxKids (step 16) and
-// kernel spreads 1+{0,1,4,8,12}.
-func Fig5(maxKids int) Fig5Result {
+// kernel spreads 1+{0,1,4,8,12}, all cells in one parallel batch.
+func Fig5(o Options, maxKids int) Fig5Result {
 	if maxKids <= 0 {
 		maxKids = 128
 	}
@@ -307,13 +363,30 @@ func Fig5(maxKids int) Fig5Result {
 	for n := 0; n <= maxKids; n += 16 {
 		r.Counts = append(r.Counts, n)
 	}
-	for _, extra := range []int{0, 1, 4, 8, 12} {
-		s := TreeSeries{ExtraKernels: extra}
+	extras := []int{0, 1, 4, 8, 12}
+	var tasks []Task
+	for _, extra := range extras {
 		for _, n := range r.Counts {
-			s.Points = append(s.Points, ChainPoint{n, buildTreeAndRevoke(n, extra)})
+			extra, n := extra, n
+			tasks = append(tasks, Task{
+				Experiment: "fig5",
+				Config:     ExpConfig{Kernels: 1 + extra, Instances: n},
+				Run: func() (Metrics, error) {
+					return Metrics{Cycles: uint64(buildTreeAndRevoke(n, extra))}, nil
+				},
+			})
+		}
+	}
+	rs := RunTasks(o.Parallel, tasks)
+	mustOK(rs)
+	for ei, extra := range extras {
+		s := TreeSeries{ExtraKernels: extra}
+		for ni, n := range r.Counts {
+			s.Points = append(s.Points, ChainPoint{n, sim.Duration(rs[ei*len(r.Counts)+ni].Metrics.Cycles)})
 		}
 		r.Series = append(r.Series, s)
 	}
+	o.record(rs)
 	return r
 }
 

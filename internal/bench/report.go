@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// ReportSchema versions the JSON layout below. Bump it only for breaking
+// changes; additions of optional fields keep the same version.
+const ReportSchema = "semperos-bench/v1"
+
+// Report collects experiment Results and serializes them as the
+// machine-readable perf trajectory (the BENCH_*.json files). The layout is
+//
+//	{
+//	  "schema": "semperos-bench/v1",
+//	  "quick": true,
+//	  "parallel": 4,
+//	  "results": [
+//	    {"experiment": "fig6/tar",
+//	     "config": {"kernels": 4, "services": 4, "instances": 16},
+//	     "metrics": {"cycles": 6210000, "efficiency": 0.93, "capops": 336},
+//	     "wallclock_ns": 1234567},
+//	    ...
+//	  ]
+//	}
+//
+// Every metrics field is simulated and deterministic — identical across
+// -parallel settings and across machines; only wallclock_ns varies.
+type Report struct {
+	mu sync.Mutex
+
+	Schema   string   `json:"schema"`
+	Quick    bool     `json:"quick"`
+	Parallel int      `json:"parallel"`
+	Results  []Result `json:"results"`
+}
+
+// NewReport returns an empty report carrying the run's settings.
+func NewReport(quick bool, parallel int) *Report {
+	return &Report{Schema: ReportSchema, Quick: quick, Parallel: parallel}
+}
+
+// Add appends results. It is safe for concurrent use, though the sweeps
+// record whole ordered batches so the file stays deterministic.
+func (r *Report) Add(rs ...Result) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Results = append(r.Results, rs...)
+}
+
+// Len returns the number of recorded results.
+func (r *Report) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.Results)
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path (the BENCH_*.json trajectory point).
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -12,6 +12,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Time is a point in virtual time, measured in cycles.
@@ -55,7 +57,17 @@ type Engine struct {
 	limit    uint64 // safety valve: max events per Run, 0 = unlimited
 	shutdown chan struct{}
 	killed   bool
-	procs    int // live procs, for leak diagnostics
+	// procs counts live procs for leak diagnostics. It is atomic because on
+	// Kill all parked proc goroutines unwind concurrently, each decrementing
+	// it from its own goroutine.
+	procs atomic.Int64
+	// unwound is joined by Kill so that every proc goroutine has fully
+	// exited (and procs has settled) before Kill returns.
+	unwound sync.WaitGroup
+	// fault carries a panic out of a proc goroutine to the engine side,
+	// where it is re-raised on the goroutine driving the simulation (and is
+	// therefore recoverable by callers such as the bench harness).
+	fault error
 }
 
 // NewEngine returns a ready-to-run engine with time at zero.
@@ -138,6 +150,11 @@ func (e *Engine) Pending() int { return len(e.pq) }
 // Kill terminates the simulation: parked Procs unwind and exit, and further
 // Schedule calls are ignored. Call it when a simulation is finished to avoid
 // leaking goroutines for procs that are still parked (e.g. server loops).
+//
+// Kill blocks until every proc goroutine has exited, so LiveProcs is exact
+// afterwards. It must be called from the engine side (between events or
+// after Run), never from within a Proc body — a proc killing its own engine
+// would wait for itself.
 func (e *Engine) Kill() {
 	if e.killed {
 		return
@@ -147,8 +164,9 @@ func (e *Engine) Kill() {
 	// Drain remaining events so parked procs that were about to be resumed
 	// are not left half-woken.
 	e.pq = nil
+	e.unwound.Wait()
 }
 
 // LiveProcs returns the number of procs that have been spawned and have not
 // yet exited. Useful to detect leaks in tests.
-func (e *Engine) LiveProcs() int { return e.procs }
+func (e *Engine) LiveProcs() int { return int(e.procs.Load()) }

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestKillManyParkedProcs is the regression test for the Engine.Kill data
+// race: hundreds of parked procs unwind concurrently on Kill, each
+// decrementing the live-proc counter from its own goroutine. Run with -race.
+func TestKillManyParkedProcs(t *testing.T) {
+	const n = 500
+	e := NewEngine()
+	for i := 0; i < n; i++ {
+		e.Spawn("parked", func(p *Proc) {
+			p.Park() // never woken; unwinds on Kill
+			t.Error("parked proc resumed unexpectedly")
+		})
+	}
+	e.Run()
+	if got := e.LiveProcs(); got != n {
+		t.Fatalf("live procs = %d, want %d before Kill", got, n)
+	}
+	e.Kill()
+	// Kill joins the unwinding goroutines, so the counter is exact here.
+	if got := e.LiveProcs(); got != 0 {
+		t.Fatalf("live procs = %d, want 0 after Kill", got)
+	}
+	// Idempotent, and further runs are no-ops.
+	e.Kill()
+	e.Run()
+}
+
+// TestKillBeforeRun kills an engine whose procs never got their first
+// handoff: the spawn events are drained, but the goroutines must still
+// unwind and the counter must settle.
+func TestKillBeforeRun(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 64; i++ {
+		e.Spawn("unstarted", func(p *Proc) {
+			t.Error("proc body ran despite Kill before Run")
+		})
+	}
+	e.Kill()
+	if got := e.LiveProcs(); got != 0 {
+		t.Fatalf("live procs = %d, want 0 after Kill", got)
+	}
+}
+
+// TestManyEnginesConcurrently drives independent engines from independent
+// goroutines — the usage pattern of the parallel bench harness — and checks
+// determinism across them under -race.
+func TestManyEnginesConcurrently(t *testing.T) {
+	run := func() Time {
+		e := NewEngine()
+		for i := 0; i < 20; i++ {
+			d := Duration(i * 3)
+			e.Spawn("w", func(p *Proc) {
+				p.Sleep(d)
+				p.Sleep(7)
+			})
+		}
+		e.Run()
+		now := e.Now()
+		e.Kill()
+		return now
+	}
+	want := run()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				if got := run(); got != want {
+					t.Errorf("final time = %d, want %d", got, want)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestProcPanicPropagatesToEngineSide: a real panic inside a proc body is
+// re-raised on the goroutine driving the simulation (recoverable, e.g. by
+// the bench harness) instead of crashing the process from the proc
+// goroutine.
+func TestProcPanicPropagatesToEngineSide(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("bad", func(p *Proc) {
+		p.Sleep(5)
+		panic("boom")
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected the proc panic to surface on the engine side")
+		}
+		err, ok := r.(error)
+		if !ok || !strings.Contains(err.Error(), `proc "bad" panicked: boom`) {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+		if got := e.LiveProcs(); got != 0 {
+			t.Errorf("live procs = %d, want 0 after fault", got)
+		}
+		e.Kill()
+	}()
+	e.Run()
+	t.Fatal("Run returned without panicking")
+}

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Proc is a cooperative simulation process: a goroutine that runs under
 // strict handoff with the engine. At any instant at most one goroutine (the
@@ -15,7 +18,9 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	parked chan struct{}
-	dead   bool
+	// dead is atomic: it is set on the proc goroutine while unwinding, which
+	// on Engine.Kill happens concurrently across all parked procs.
+	dead atomic.Bool
 }
 
 // killed is the panic value used to unwind a proc when its engine is killed.
@@ -31,11 +36,13 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		parked: make(chan struct{}),
 	}
-	e.procs++
-	e.Schedule(0, func() {
-		go p.top(fn)
-		p.step()
-	})
+	e.procs.Add(1)
+	e.unwound.Add(1)
+	// The goroutine starts immediately but blocks in waitResume until the
+	// scheduled handoff below (or unwinds on Kill, even if that handoff never
+	// runs because the engine was killed first).
+	go p.top(fn)
+	e.Schedule(0, p.step)
 	return p
 }
 
@@ -43,17 +50,26 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 // then hand control back for the last time.
 func (p *Proc) top(fn func(p *Proc)) {
 	defer func() {
-		p.dead = true
-		p.eng.procs--
+		p.dead.Store(true)
+		p.eng.procs.Add(-1)
+		defer p.eng.unwound.Done()
 		if r := recover(); r != nil {
 			if _, ok := r.(killed); ok {
 				// Engine was killed: exit silently. Nobody is waiting in
 				// step() anymore, so do not hand back.
 				return
 			}
-			// Real panic in simulation code: re-panic on the engine side
-			// would lose the stack; crash here with context instead.
-			panic(fmt.Sprintf("sim: proc %q panicked: %v", p.name, r))
+			// Real panic in simulation code: hand it to the engine side,
+			// which re-raises it on the goroutine driving the simulation —
+			// recoverable by callers (e.g. the bench harness captures it as
+			// a failed experiment) — instead of crashing the process from
+			// this goroutine.
+			p.eng.fault = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+			select {
+			case p.parked <- struct{}{}:
+			case <-p.eng.shutdown:
+			}
+			return
 		}
 		p.parked <- struct{}{}
 	}()
@@ -64,7 +80,7 @@ func (p *Proc) top(fn func(p *Proc)) {
 // step transfers control to the proc and blocks until it parks or exits.
 // It must be called from the engine side (an event handler).
 func (p *Proc) step() {
-	if p.dead {
+	if p.dead.Load() {
 		return
 	}
 	select {
@@ -74,6 +90,10 @@ func (p *Proc) step() {
 	}
 	select {
 	case <-p.parked:
+		if f := p.eng.fault; f != nil {
+			p.eng.fault = nil
+			panic(f)
+		}
 	case <-p.eng.shutdown:
 	}
 }

@@ -84,9 +84,11 @@ func TestProcKillUnwindsParked(t *testing.T) {
 		t.Fatalf("live procs = %d, want 1 before Kill", e.LiveProcs())
 	}
 	e.Kill()
-	// The proc goroutine exits asynchronously after Kill; we cannot join it
-	// deterministically, but Kill must not deadlock and further runs must
-	// be no-ops.
+	// Kill joins the unwinding goroutine, so the counter is exact afterwards
+	// and further runs are no-ops.
+	if e.LiveProcs() != 0 {
+		t.Fatalf("live procs = %d, want 0 after Kill", e.LiveProcs())
+	}
 	e.Run()
 }
 

@@ -48,6 +48,9 @@ type NginxResult struct {
 	Config   NginxConfig
 	Requests uint64
 	Duration sim.Duration
+	// TotalCapOps sums the capability operations of all VPEs over the whole
+	// run (setup, warmup and measurement window).
+	TotalCapOps uint64
 }
 
 // RequestsPerSecond returns the aggregate request rate.
@@ -208,7 +211,11 @@ func RunNginx(cfg NginxConfig) (*NginxResult, error) {
 	for _, n := range requests {
 		after += n
 	}
-	return &NginxResult{Config: cfg, Requests: after - before, Duration: sys.Now() - start}, nil
+	var capOps uint64
+	for _, v := range sys.VPEs() {
+		capOps += v.CapOps()
+	}
+	return &NginxResult{Config: cfg, Requests: after - before, Duration: sys.Now() - start, TotalCapOps: capOps}, nil
 }
 
 // VPEHandle wraps a VPE pointer for futures.

@@ -108,5 +108,5 @@ func New(cfg Config) (*System, error) { return core.NewSystem(cfg) }
 func MustNew(cfg Config) *System { return core.MustNew(cfg) }
 
 // DefaultCostModel returns the calibrated cost model used by the
-// experiments (see EXPERIMENTS.md for the calibration targets).
+// experiments (see DESIGN.md for the calibration targets).
 func DefaultCostModel() CostModel { return core.DefaultCostModel() }
