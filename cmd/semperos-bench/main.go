@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,11 +29,34 @@ import (
 )
 
 func main() {
+	// realMain holds all the defers (profile flushing, file closing), so an
+	// error exit still stops the CPU profile — os.Exit in main would skip
+	// them and truncate the profile.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	experiment := flag.String("experiment", "all", "comma-separated list: table3,fig4,fig5,table4,fig6,fig7,fig8,fig9,fig10,ablation,all")
 	quick := flag.Bool("quick", false, "run at reduced scale (64 instances, 8 kernels)")
 	parallel := flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the sweep) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *cpuprofile, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "starting CPU profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	opts := bench.Full()
 	if *quick {
@@ -91,14 +115,29 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	fmt.Printf("[%d experiments, %d workers, total %v]\n", ran, workers, total.Round(time.Millisecond))
 	if *jsonPath != "" {
 		if err := report.WriteFile(*jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("[wrote %d results to %s]\n", report.Len(), *jsonPath)
 	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *memprofile, err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "writing heap profile: %v\n", err)
+			return 1
+		}
+		fmt.Printf("[wrote heap profile to %s]\n", *memprofile)
+	}
+	return 0
 }

@@ -35,7 +35,7 @@ type AblationResult struct {
 // ablationTreeRevoke builds a root with n children over 1+extra kernels and
 // measures revoking it, returning the duration and total inter-kernel
 // messages.
-func ablationTreeRevoke(n, extra int, batching bool) (sim.Duration, uint64) {
+func ablationTreeRevoke(eng *sim.Engine, n, extra int, batching bool) (sim.Duration, uint64) {
 	kernels := extra + 1
 	perGroup := n + 1
 	if extra > 0 {
@@ -45,6 +45,7 @@ func ablationTreeRevoke(n, extra int, batching bool) (sim.Duration, uint64) {
 		Kernels:        kernels,
 		UserPEs:        kernels * perGroup,
 		RevokeBatching: batching,
+		Engine:         eng,
 	})
 	defer sys.Close()
 	byGroup := make(map[int][]int)
@@ -131,8 +132,8 @@ func AblationBatching(o Options, maxKids, extra int) AblationResult {
 			tasks = append(tasks, Task{
 				Experiment: name,
 				Config:     ExpConfig{Kernels: extra + 1, Instances: n},
-				Run: func() (Metrics, error) {
-					c, m := ablationTreeRevoke(n, extra, batching)
+				Run: func(eng *sim.Engine) (Metrics, error) {
+					c, m := ablationTreeRevoke(eng, n, extra, batching)
 					msgs[2*i+vi] = m
 					return Metrics{Cycles: uint64(c)}, nil
 				},

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -414,7 +415,9 @@ func Fig10(o Options) Fig10Result {
 		tasks[i] = Task{
 			Experiment: "fig10",
 			Config:     ExpConfig{Kernels: nc.Kernels, Services: nc.Services, Instances: nc.Servers},
-			Run: func() (Metrics, error) {
+			Run: func(eng *sim.Engine) (Metrics, error) {
+				nc := nc
+				nc.Engine = eng
 				r, err := workload.RunNginx(nc)
 				if err != nil {
 					return Metrics{}, err

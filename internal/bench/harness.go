@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -39,14 +40,25 @@ type Metrics struct {
 	CapOps     uint64  `json:"capops"`
 }
 
-// Task is one independent experiment: Run builds its own simulation (its
-// own sim.Engine) and returns the measured metrics. Tasks must not share
+// Task is one independent experiment: Run builds its own simulation on the
+// engine handed to it and returns the measured metrics. Tasks must not share
 // mutable state with each other.
+//
+// The engine comes from the harness's pool: it is in fresh state (new or
+// Reset) when Run starts, and the harness Resets and recycles it after Run
+// returns — unwinding any procs the experiment left parked. Run wires it
+// into its simulation via core.Config.Engine / workload.Config.Engine (or
+// ignores it and builds its own engine; that only forfeits the reuse).
 type Task struct {
 	Experiment string
 	Config     ExpConfig
-	Run        func() (Metrics, error)
+	Run        func(eng *sim.Engine) (Metrics, error)
 }
+
+// enginePool recycles sim.Engines (and their grown event-slab backing
+// arrays) across all harness tasks in the process, so per-experiment engine
+// setup stops dominating short runs.
+var enginePool = sim.NewPool()
 
 // Result is the outcome of one Task. It is the unit of the machine-readable
 // report (see report.go for the serialization layer).
@@ -92,8 +104,12 @@ func RunTasks(parallel int, tasks []Task) []Result {
 	return results
 }
 
-// runTask executes one task, capturing wallclock and panics.
+// runTask executes one task on a pooled engine, capturing wallclock and
+// panics. The engine goes back to the pool (Reset, procs unwound) whatever
+// way the task ends.
 func runTask(t Task) (res Result) {
+	eng := enginePool.Get()
+	defer enginePool.Put(eng)
 	res = Result{Experiment: t.Experiment, Config: t.Config}
 	start := time.Now()
 	defer func() {
@@ -102,7 +118,7 @@ func runTask(t Task) (res Result) {
 			res.Error = fmt.Sprintf("panic: %v", r)
 		}
 	}()
-	m, err := t.Run()
+	m, err := t.Run(eng)
 	if err != nil {
 		res.Error = err.Error()
 		return res
@@ -138,7 +154,9 @@ func (o Options) runWorkloads(experiment string, cfgs []workload.Config) ([]*wor
 		tasks[i] = Task{
 			Experiment: name,
 			Config:     ExpConfig{Kernels: cfg.Kernels, Services: cfg.Services, Instances: cfg.Instances},
-			Run: func() (Metrics, error) {
+			Run: func(eng *sim.Engine) (Metrics, error) {
+				cfg := cfg
+				cfg.Engine = eng
 				r, err := workload.Run(cfg)
 				if err != nil {
 					return Metrics{}, err

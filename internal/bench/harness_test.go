@@ -21,7 +21,7 @@ func TestRunTasksOrdering(t *testing.T) {
 		i := i
 		tasks[i] = Task{
 			Experiment: fmt.Sprintf("t%d", i),
-			Run: func() (Metrics, error) {
+			Run: func(*sim.Engine) (Metrics, error) {
 				return Metrics{Cycles: uint64(i)}, nil
 			},
 		}
@@ -44,9 +44,9 @@ func TestRunTasksOrdering(t *testing.T) {
 // does not take down its worker (later tasks still run).
 func TestRunTasksPanicCapture(t *testing.T) {
 	tasks := []Task{
-		{Experiment: "boom", Run: func() (Metrics, error) { panic("kaboom") }},
-		{Experiment: "err", Run: func() (Metrics, error) { return Metrics{}, errors.New("nope") }},
-		{Experiment: "ok", Run: func() (Metrics, error) { return Metrics{Cycles: 7}, nil }},
+		{Experiment: "boom", Run: func(*sim.Engine) (Metrics, error) { panic("kaboom") }},
+		{Experiment: "err", Run: func(*sim.Engine) (Metrics, error) { return Metrics{}, errors.New("nope") }},
+		{Experiment: "ok", Run: func(*sim.Engine) (Metrics, error) { return Metrics{Cycles: 7}, nil }},
 	}
 	rs := RunTasks(1, tasks)
 	if rs[0].Error == "" || rs[0].Error != "panic: kaboom" {
@@ -156,19 +156,50 @@ func TestSweepRecordsEfficiency(t *testing.T) {
 	}
 }
 
+// TestRunTasksPooledEngines: every task receives a fresh-state engine, even
+// after an earlier task on the same worker leaked parked procs and pending
+// events — the engine pool Resets between tasks.
+func TestRunTasksPooledEngines(t *testing.T) {
+	mkTask := func(name string) Task {
+		return Task{Experiment: name, Run: func(eng *sim.Engine) (Metrics, error) {
+			if eng == nil {
+				return Metrics{}, errors.New("nil engine")
+			}
+			if eng.Now() != 0 || eng.Pending() != 0 || eng.Executed() != 0 || eng.LiveProcs() != 0 {
+				return Metrics{}, fmt.Errorf("engine not fresh: now=%d pending=%d executed=%d procs=%d",
+					eng.Now(), eng.Pending(), eng.Executed(), eng.LiveProcs())
+			}
+			// Dirty the engine and leak a parked proc; do NOT Kill — the
+			// harness must clean up on Put.
+			eng.Spawn("leak", func(p *sim.Proc) { p.Park() })
+			eng.Schedule(50, func() {})
+			eng.RunUntil(10)
+			eng.Schedule(100, func() {})
+			return Metrics{Cycles: 1}, nil
+		}}
+	}
+	tasks := []Task{mkTask("a"), mkTask("b"), mkTask("c"), mkTask("d")}
+	for _, rs := range [][]Result{RunTasks(1, tasks), RunTasks(2, tasks)} {
+		for _, r := range rs {
+			if r.Error != "" {
+				t.Errorf("%s: %s", r.Experiment, r.Error)
+			}
+		}
+	}
+}
+
 // TestRunTasksCapturesProcPanic: a panic raised inside a simulated proc —
 // the dominant failure mode of a broken experiment — becomes an error
 // Result instead of tearing down the whole sweep.
 func TestRunTasksCapturesProcPanic(t *testing.T) {
 	tasks := []Task{
-		{Experiment: "sim-boom", Run: func() (Metrics, error) {
-			e := sim.NewEngine()
+		{Experiment: "sim-boom", Run: func(e *sim.Engine) (Metrics, error) {
 			defer e.Kill()
 			e.Spawn("bad", func(p *sim.Proc) { panic("boom") })
 			e.Run()
 			return Metrics{}, nil
 		}},
-		{Experiment: "ok", Run: func() (Metrics, error) { return Metrics{Cycles: 1}, nil }},
+		{Experiment: "ok", Run: func(*sim.Engine) (Metrics, error) { return Metrics{Cycles: 1}, nil }},
 	}
 	rs := RunTasks(1, tasks)
 	if !strings.Contains(rs[0].Error, "boom") {

@@ -21,10 +21,10 @@ import (
 	"repro/internal/sim"
 )
 
-// buildPair constructs a two-app system. With spanning=true the apps land
-// in different PE groups; otherwise both run under kernel 0.
-func buildPair(spanning bool) (*core.System, int, int) {
-	sys := core.MustNew(core.Config{Kernels: 2, UserPEs: 4})
+// buildPair constructs a two-app system on eng. With spanning=true the apps
+// land in different PE groups; otherwise both run under kernel 0.
+func buildPair(eng *sim.Engine, spanning bool) (*core.System, int, int) {
+	sys := core.MustNew(core.Config{Kernels: 2, UserPEs: 4, Engine: eng})
 	// PEs 2,3 -> kernel 0; PEs 4,5 -> kernel 1.
 	if spanning {
 		return sys, 2, 4
@@ -83,20 +83,20 @@ func Table3(o Options) Table3Result {
 	type pair struct{ exch, rev sim.Duration }
 	out := make([]pair, 3)
 	tasks := []Task{
-		{Experiment: "table3/exchange-local", Config: ExpConfig{Kernels: 2, Instances: 2}, Run: func() (Metrics, error) {
-			sys, a, b := buildPair(false)
+		{Experiment: "table3/exchange-local", Config: ExpConfig{Kernels: 2, Instances: 2}, Run: func(eng *sim.Engine) (Metrics, error) {
+			sys, a, b := buildPair(eng, false)
 			e, v := measureExchangeRevoke(sys, a, b)
 			out[0] = pair{e, v}
 			return Metrics{Cycles: uint64(e)}, nil
 		}},
-		{Experiment: "table3/exchange-spanning", Config: ExpConfig{Kernels: 2, Instances: 2}, Run: func() (Metrics, error) {
-			sys, a, b := buildPair(true)
+		{Experiment: "table3/exchange-spanning", Config: ExpConfig{Kernels: 2, Instances: 2}, Run: func(eng *sim.Engine) (Metrics, error) {
+			sys, a, b := buildPair(eng, true)
 			e, v := measureExchangeRevoke(sys, a, b)
 			out[1] = pair{e, v}
 			return Metrics{Cycles: uint64(e)}, nil
 		}},
-		{Experiment: "table3/exchange-m3", Config: ExpConfig{Kernels: 1, Instances: 2}, Run: func() (Metrics, error) {
-			m3sys := m3.MustNew(m3.Config{UserPEs: 4})
+		{Experiment: "table3/exchange-m3", Config: ExpConfig{Kernels: 1, Instances: 2}, Run: func(eng *sim.Engine) (Metrics, error) {
+			m3sys := m3.MustNew(m3.Config{UserPEs: 4, Engine: eng})
 			e, v := measureExchangeRevoke(m3sys.System, 1, 2)
 			out[2] = pair{e, v}
 			return Metrics{Cycles: uint64(e)}, nil
@@ -244,16 +244,16 @@ func Fig4(o Options, maxLen int) Fig4Result {
 	for _, l := range lengths {
 		l := l
 		tasks = append(tasks,
-			Task{Experiment: "fig4/local", Config: ExpConfig{Kernels: 2, Instances: l}, Run: func() (Metrics, error) {
-				sys := core.MustNew(core.Config{Kernels: 2, UserPEs: maxLen + 2})
+			Task{Experiment: "fig4/local", Config: ExpConfig{Kernels: 2, Instances: l}, Run: func(eng *sim.Engine) (Metrics, error) {
+				sys := core.MustNew(core.Config{Kernels: 2, UserPEs: maxLen + 2, Engine: eng})
 				return Metrics{Cycles: uint64(buildChainAndRevoke(sys, sys.UserPEs(), l, false))}, nil
 			}},
-			Task{Experiment: "fig4/spanning", Config: ExpConfig{Kernels: 2, Instances: l}, Run: func() (Metrics, error) {
-				sys := core.MustNew(core.Config{Kernels: 2, UserPEs: maxLen + 2})
+			Task{Experiment: "fig4/spanning", Config: ExpConfig{Kernels: 2, Instances: l}, Run: func(eng *sim.Engine) (Metrics, error) {
+				sys := core.MustNew(core.Config{Kernels: 2, UserPEs: maxLen + 2, Engine: eng})
 				return Metrics{Cycles: uint64(buildChainAndRevoke(sys, sys.UserPEs(), l, true))}, nil
 			}},
-			Task{Experiment: "fig4/m3", Config: ExpConfig{Kernels: 1, Instances: l}, Run: func() (Metrics, error) {
-				m3sys := m3.MustNew(m3.Config{UserPEs: maxLen + 2})
+			Task{Experiment: "fig4/m3", Config: ExpConfig{Kernels: 1, Instances: l}, Run: func(eng *sim.Engine) (Metrics, error) {
+				m3sys := m3.MustNew(m3.Config{UserPEs: maxLen + 2, Engine: eng})
 				return Metrics{Cycles: uint64(buildChainAndRevoke(m3sys.System, m3sys.UserPEs(), l, false))}, nil
 			}})
 	}
@@ -296,13 +296,13 @@ type Fig5Result struct {
 
 // buildTreeAndRevoke hands the root capability to n other VPEs (spread over
 // extra kernels if extra > 0) and measures revoking the whole tree.
-func buildTreeAndRevoke(n, extra int) sim.Duration {
+func buildTreeAndRevoke(eng *sim.Engine, n, extra int) sim.Duration {
 	kernels := extra + 1
 	perGroup := n + 1
 	if extra > 0 {
 		perGroup = (n+extra-1)/extra + 1
 	}
-	sys := core.MustNew(core.Config{Kernels: kernels, UserPEs: kernels * perGroup})
+	sys := core.MustNew(core.Config{Kernels: kernels, UserPEs: kernels * perGroup, Engine: eng})
 	defer sys.Close()
 	pes := sys.UserPEs()
 	// Group 0's first PE hosts the root; children are placed round-robin
@@ -371,8 +371,8 @@ func Fig5(o Options, maxKids int) Fig5Result {
 			tasks = append(tasks, Task{
 				Experiment: "fig5",
 				Config:     ExpConfig{Kernels: 1 + extra, Instances: n},
-				Run: func() (Metrics, error) {
-					return Metrics{Cycles: uint64(buildTreeAndRevoke(n, extra))}, nil
+				Run: func(eng *sim.Engine) (Metrics, error) {
+					return Metrics{Cycles: uint64(buildTreeAndRevoke(eng, n, extra))}, nil
 				},
 			})
 		}

@@ -30,6 +30,11 @@ type Config struct {
 	// child, the kernel batches all children owned by the same kernel into
 	// a single revoke request.
 	RevokeBatching bool
+	// Engine, when non-nil, is the simulation engine to build on instead of
+	// a fresh sim.NewEngine. It must be in fresh state (new or Reset):
+	// time, sequence and event counters at zero and not killed. The bench
+	// harness uses this to recycle pooled engines across experiments.
+	Engine *sim.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -99,7 +104,10 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 	nodes := cfg.Kernels + cfg.UserPEs + cfg.MemPEs
-	eng := sim.NewEngine()
+	eng := cfg.Engine
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
 	ncfg := noc.DefaultConfig(nodes)
 	if cfg.Noc != nil {
 		ncfg = *cfg.Noc

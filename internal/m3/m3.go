@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/noc"
+	"repro/internal/sim"
 )
 
 // Config describes an M3 machine.
@@ -32,6 +33,9 @@ type Config struct {
 	MemBytes int
 	// Noc overrides the NoC configuration.
 	Noc *noc.Config
+	// Engine, when non-nil, is a fresh (or Reset) simulation engine to build
+	// on instead of a new one; see core.Config.Engine.
+	Engine *sim.Engine
 }
 
 // CostModel returns the M3 kernel cost model: identical to SemperOS except
@@ -67,6 +71,7 @@ func New(cfg Config) (*System, error) {
 		MemBytes: cfg.MemBytes,
 		Noc:      cfg.Noc,
 		Cost:     &cost,
+		Engine:   cfg.Engine,
 	})
 	if err != nil {
 		return nil, err

@@ -101,6 +101,74 @@ func TestEngineStep(t *testing.T) {
 	}
 }
 
+// TestEngineEventLimitExact: SetEventLimit(n) means at most n events — the
+// nth event runs, the (n+1)th panics.
+func TestEngineEventLimitExact(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(3)
+	ran := 0
+	for i := 0; i < 3; i++ {
+		e.Schedule(Duration(i+1), func() { ran++ })
+	}
+	e.Run() // exactly the limit: fine
+	if ran != 3 {
+		t.Fatalf("ran = %d, want 3", ran)
+	}
+	e.Schedule(1, func() { ran++ })
+	defer func() {
+		if recover() == nil {
+			t.Error("event beyond the limit did not panic")
+		}
+		if ran != 3 {
+			t.Errorf("event beyond the limit executed (ran = %d)", ran)
+		}
+	}()
+	e.Run()
+}
+
+// TestEngineStepEventLimit: Step does the same limit accounting as Run.
+func TestEngineStepEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(1)
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if !e.Step() {
+		t.Fatal("first Step did nothing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Step beyond the event limit did not panic")
+		}
+	}()
+	e.Step()
+}
+
+// TestEngineStepRespectsKilled: Step after Kill is a no-op.
+func TestEngineStepRespectsKilled(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() { t.Error("event ran after Kill") })
+	e.Kill()
+	if e.Step() {
+		t.Fatal("Step executed an event after Kill")
+	}
+}
+
+// TestEngineStepCausality: Step shares Run's queue-went-backwards check.
+// The queue cannot be corrupted through the public API (Schedule delays are
+// unsigned), so plant the bad event directly.
+func TestEngineStepCausality(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run() // now = 10
+	e.heapPush(event{at: 5, seq: e.seq + 1, fn: func() {}})
+	defer func() {
+		if recover() == nil {
+			t.Error("Step executed an event in the past")
+		}
+	}()
+	e.Step()
+}
+
 func TestEngineEventLimit(t *testing.T) {
 	e := NewEngine()
 	e.SetEventLimit(100)

@@ -48,6 +48,23 @@ func TestKillBeforeRun(t *testing.T) {
 	}
 }
 
+// TestKillWithReparkingDefer: a proc whose defer parks again (a cleanup
+// Sleep during unwind) must not deadlock Kill — parking on a killed engine
+// re-panics instead of waiting for a handoff that will never come.
+func TestKillWithReparkingDefer(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("cleanup", func(p *Proc) {
+		defer p.Sleep(1) // runs during the killed{} unwind
+		p.Park()
+		t.Error("parked proc resumed unexpectedly")
+	})
+	e.Run()
+	e.Kill() // must return, not hang on unwound.Wait
+	if got := e.LiveProcs(); got != 0 {
+		t.Fatalf("live procs = %d, want 0 after Kill", got)
+	}
+}
+
 // TestManyEnginesConcurrently drives independent engines from independent
 // goroutines — the usage pattern of the parallel bench harness — and checks
 // determinism across them under -race.

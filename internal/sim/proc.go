@@ -13,11 +13,24 @@ import (
 // Procs must only interact with the engine (Schedule, Wake, ...) from within
 // their own body or from event handlers; the package is not safe for use
 // from foreign OS threads.
+//
+// The handoff uses plain sends on capacity-1 channels, not selects: because
+// of the strict alternation (the engine only resumes a proc that is parked,
+// and a proc only parks while the engine waits for it), every send has a
+// waiting receiver or a free buffer slot, so no shutdown case is needed in
+// the hot path — this keeps the per-event cost to two channel operations.
+// Kill-time unwinding is driven from the engine side instead: Kill wakes
+// every live proc via its resume channel, and waitResume checks the killed
+// flag after every wakeup.
 type Proc struct {
 	eng    *Engine
 	name   string
-	resume chan struct{}
-	parked chan struct{}
+	resume chan struct{} // capacity 1: engine -> proc "go"
+	parked chan struct{} // capacity 1: proc -> engine "back to you"
+	// stepFn is p.step bound once at Spawn. Taking the method value inline
+	// (e.Schedule(d, p.step)) would allocate a fresh closure on every
+	// Sleep/Wake/Yield; binding it once makes the handoff allocation-free.
+	stepFn func()
 	// dead is atomic: it is set on the proc goroutine while unwinding, which
 	// on Engine.Kill happens concurrently across all parked procs.
 	dead atomic.Bool
@@ -28,21 +41,28 @@ type killed struct{}
 
 // Spawn creates a proc running fn, starting at the current virtual time
 // (after already-queued events at this timestamp). The name is used in
-// diagnostics only.
+// diagnostics only. Spawning on a killed engine returns an already-dead
+// proc whose body never runs.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
 		eng:    e,
 		name:   name,
-		resume: make(chan struct{}),
-		parked: make(chan struct{}),
+		resume: make(chan struct{}, 1),
+		parked: make(chan struct{}, 1),
 	}
+	p.stepFn = p.step
+	if e.killed {
+		p.dead.Store(true)
+		return p
+	}
+	e.allProcs = append(e.allProcs, p)
 	e.procs.Add(1)
 	e.unwound.Add(1)
 	// The goroutine starts immediately but blocks in waitResume until the
-	// scheduled handoff below (or unwinds on Kill, even if that handoff never
-	// runs because the engine was killed first).
+	// scheduled handoff below (or until Kill wakes it to unwind, even if
+	// that handoff never runs because the engine was killed first).
 	go p.top(fn)
-	e.Schedule(0, p.step)
+	e.Schedule(0, p.stepFn)
 	return p
 }
 
@@ -63,13 +83,9 @@ func (p *Proc) top(fn func(p *Proc)) {
 			// which re-raises it on the goroutine driving the simulation —
 			// recoverable by callers (e.g. the bench harness captures it as
 			// a failed experiment) — instead of crashing the process from
-			// this goroutine.
+			// this goroutine. A real panic implies the proc was running,
+			// so an engine-side step() is blocked on parked.
 			p.eng.fault = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
-			select {
-			case p.parked <- struct{}{}:
-			case <-p.eng.shutdown:
-			}
-			return
 		}
 		p.parked <- struct{}{}
 	}()
@@ -78,42 +94,40 @@ func (p *Proc) top(fn func(p *Proc)) {
 }
 
 // step transfers control to the proc and blocks until it parks or exits.
-// It must be called from the engine side (an event handler).
+// It must be called from the engine side (an event handler). Events cannot
+// run after Kill (the queues are drained and Schedule is a no-op), so the
+// proc on the other end is always parked-or-dead, never unwinding.
 func (p *Proc) step() {
 	if p.dead.Load() {
 		return
 	}
-	select {
-	case p.resume <- struct{}{}:
-	case <-p.eng.shutdown:
-		return
-	}
-	select {
-	case <-p.parked:
-		if f := p.eng.fault; f != nil {
-			p.eng.fault = nil
-			panic(f)
-		}
-	case <-p.eng.shutdown:
+	p.resume <- struct{}{}
+	<-p.parked
+	if f := p.eng.fault; f != nil {
+		p.eng.fault = nil
+		panic(f)
 	}
 }
 
-// waitResume blocks the proc goroutine until the engine hands control over.
+// waitResume blocks the proc goroutine until the engine hands control over,
+// unwinding instead if the wakeup came from Kill.
 func (p *Proc) waitResume() {
-	select {
-	case <-p.resume:
-	case <-p.eng.shutdown:
+	<-p.resume
+	if p.eng.killed {
 		panic(killed{})
 	}
 }
 
-// park hands control back to the engine and blocks until resumed.
+// park hands control back to the engine and blocks until resumed. On a
+// killed engine it unwinds instead: nobody is in step() to receive the
+// parked token, so blocking would deadlock Kill. This path is reachable
+// when a proc defer parks again (e.g. a cleanup Sleep) while the proc is
+// already unwinding.
 func (p *Proc) park() {
-	select {
-	case p.parked <- struct{}{}:
-	case <-p.eng.shutdown:
+	if p.eng.killed {
 		panic(killed{})
 	}
+	p.parked <- struct{}{}
 	p.waitResume()
 }
 
@@ -128,7 +142,7 @@ func (p *Proc) Now() Time { return p.eng.Now() }
 
 // Sleep blocks the proc for d cycles of virtual time.
 func (p *Proc) Sleep(d Duration) {
-	p.eng.Schedule(d, p.step)
+	p.eng.Schedule(d, p.stepFn)
 	p.park()
 }
 
@@ -146,10 +160,10 @@ func (p *Proc) Park() { p.park() }
 // dead proc is a bug and will desynchronize the handoff protocol, so callers
 // must track parked state (Future and Semaphore do this for you).
 func (p *Proc) Wake() {
-	p.eng.Schedule(0, p.step)
+	p.eng.Schedule(0, p.stepFn)
 }
 
 // WakeAfter schedules the proc to resume after d cycles.
 func (p *Proc) WakeAfter(d Duration) {
-	p.eng.Schedule(d, p.step)
+	p.eng.Schedule(d, p.stepFn)
 }

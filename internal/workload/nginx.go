@@ -28,6 +28,9 @@ type NginxConfig struct {
 	// RequestCompute is the per-request HTTP processing time in cycles
 	// (default 60k ≈ 30 µs, from the shape of the paper's Figure 10).
 	RequestCompute sim.Duration
+	// Engine, when non-nil, is a fresh (or Reset) simulation engine to build
+	// the experiment on; see core.Config.Engine.
+	Engine *sim.Engine
 }
 
 func (c NginxConfig) withDefaults() NginxConfig {
@@ -78,6 +81,7 @@ func RunNginx(cfg NginxConfig) (*NginxResult, error) {
 		UserPEs:  userPEs,
 		MemPEs:   1 + cfg.Services/8,
 		MemBytes: int(imageBytes)*cfg.Services + (64 << 20),
+		Engine:   cfg.Engine,
 	})
 	if err != nil {
 		return nil, err

@@ -21,6 +21,11 @@ type Config struct {
 	Trace     *trace.Trace
 	// ExtentBytes overrides the filesystem extent size (default 1 MiB).
 	ExtentBytes uint64
+	// Engine, when non-nil, is a fresh (or Reset) simulation engine to build
+	// the experiment on; see core.Config.Engine. One Run consumes it (Run
+	// kills the engine on return), so it must not be shared across Runs
+	// without a Reset in between.
+	Engine *sim.Engine
 }
 
 // Result aggregates one experiment run.
@@ -156,6 +161,7 @@ func Run(cfg Config) (*Result, error) {
 		UserPEs:  userPEs,
 		MemPEs:   1 + cfg.Services/8,
 		MemBytes: 1 << 40, // accounting only; backing is lazily allocated
+		Engine:   cfg.Engine,
 	})
 	if err != nil {
 		return nil, err
@@ -243,6 +249,9 @@ func Run(cfg Config) (*Result, error) {
 // benchmark instance will have the same execution time when running alone
 // as when running with other instances in parallel").
 func ParallelEfficiency(cfg Config) (eff float64, alone, parallel sim.Duration, err error) {
+	// Two Runs: a caller-provided engine could serve at most one of them, so
+	// both build their own.
+	cfg.Engine = nil
 	one := cfg
 	one.Instances = 1
 	r1, err := Run(one)
