@@ -1,0 +1,129 @@
+// Command bench-compare diffs the simulated (experiment, config, metrics)
+// triples of two semperos-bench JSON reports (schema semperos-bench/v1).
+//
+// Usage:
+//
+//	bench-compare [-allow-new] BASELINE.json FRESH.json
+//
+// All metrics in a report are simulated and deterministic, so any
+// difference between a fresh run and the committed baseline is a semantic
+// change to the simulation — not noise — and must be intentional: either
+// the baseline is regenerated in the same PR, or the run is fixed. CI runs
+// this against BENCH_quick.json to enforce mechanically what used to be a
+// convention ("regressions in cycles are semantic changes").
+//
+// Exit status: 0 when the reports agree, 1 on drift (changed metrics,
+// baseline rows missing from the fresh run, or — unless -allow-new — rows
+// the baseline does not know), 2 on usage or read errors. Wallclock and
+// worker-pool fields are ignored: only simulated quantities are compared.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+// key identifies one experiment configuration. Sweeps may legitimately run
+// one configuration several times (e.g. a baseline shared between figures),
+// so rows are compared per key in report order.
+type key struct {
+	Experiment string
+	Config     bench.ExpConfig
+}
+
+func load(path string) (*bench.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != bench.ReportSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, bench.ReportSchema)
+	}
+	return &r, nil
+}
+
+func byKey(r *bench.Report) (map[key][]bench.Metrics, []key) {
+	m := make(map[key][]bench.Metrics)
+	var order []key
+	for _, res := range r.Results {
+		k := key{Experiment: res.Experiment, Config: res.Config}
+		if _, seen := m[k]; !seen {
+			order = append(order, k)
+		}
+		m[k] = append(m[k], res.Metrics)
+	}
+	return m, order
+}
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	allowNew := flag.Bool("allow-new", false, "tolerate experiments present only in the fresh report")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bench-compare [-allow-new] BASELINE.json FRESH.json")
+		return 2
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	baseBy, baseOrder := byKey(base)
+	freshBy, freshOrder := byKey(fresh)
+
+	drift := 0
+	report := func(format string, args ...any) {
+		drift++
+		fmt.Printf(format+"\n", args...)
+	}
+	for _, k := range baseOrder {
+		want := baseBy[k]
+		got, ok := freshBy[k]
+		if !ok {
+			report("MISSING  %s %+v: in baseline, absent from fresh run", k.Experiment, k.Config)
+			continue
+		}
+		if len(got) != len(want) {
+			report("COUNT    %s %+v: %d baseline runs vs %d fresh", k.Experiment, k.Config, len(want), len(got))
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				report("CHANGED  %s %+v: metrics %+v -> %+v", k.Experiment, k.Config, want[i], got[i])
+			}
+		}
+	}
+	for _, k := range freshOrder {
+		if _, ok := baseBy[k]; ok {
+			continue
+		}
+		if *allowNew {
+			fmt.Printf("new      %s %+v (allowed)\n", k.Experiment, k.Config)
+		} else {
+			report("NEW      %s %+v: not in baseline (regenerate it or pass -allow-new)", k.Experiment, k.Config)
+		}
+	}
+	if drift > 0 {
+		fmt.Printf("bench-compare: %d drifting triple(s) between %s and %s\n", drift, flag.Arg(0), flag.Arg(1))
+		return 1
+	}
+	fmt.Printf("bench-compare: %d triples identical between %s and %s\n", len(baseOrder), flag.Arg(0), flag.Arg(1))
+	return 0
+}

@@ -36,7 +36,7 @@ func main() {
 }
 
 func realMain() int {
-	experiment := flag.String("experiment", "all", "comma-separated list: table3,fig4,fig5,table4,fig6,fig7,fig8,fig9,fig10,ablation,all")
+	experiment := flag.String("experiment", "all", "comma-separated list: table3,fig4,fig5,table4,fig6,fig7,fig8,fig9,fig10,ablation,all; extras (opt-in, excluded from all): ablation-ikc")
 	quick := flag.Bool("quick", false, "run at reduced scale (64 instances, 8 kernels)")
 	parallel := flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
@@ -77,16 +77,29 @@ func realMain() int {
 	all := want["all"]
 	ran := 0
 	total := time.Duration(0)
-	run := func(name string, fn func()) {
-		if !all && !want[name] {
-			return
-		}
+	doRun := func(name string, fn func()) {
 		ran++
 		start := time.Now()
 		fn()
 		elapsed := time.Since(start)
 		total += elapsed
 		fmt.Printf("[%s took %v]\n\n", name, elapsed.Round(time.Millisecond))
+	}
+	run := func(name string, fn func()) {
+		if !all && !want[name] {
+			return
+		}
+		doRun(name, fn)
+	}
+	// runExtra experiments are opt-in only: they are excluded from
+	// `-experiment all` so the default run (and its BENCH_*.json
+	// trajectory) stays directly comparable across PRs; request them by
+	// name (e.g. `-experiment all,ablation-ikc`).
+	runExtra := func(name string, fn func()) {
+		if !want[name] {
+			return
+		}
+		doRun(name, fn)
 	}
 
 	run("table3", func() { bench.Table3(opts).Print(os.Stdout) })
@@ -111,6 +124,7 @@ func realMain() int {
 	})
 	run("fig10", func() { bench.Fig10(opts).Print(os.Stdout) })
 	run("ablation", func() { bench.AblationBatching(opts, 128, 12).Print(os.Stdout) })
+	runExtra("ablation-ikc", func() { bench.AblationIKC(opts, 96, 12).Print(os.Stdout) })
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)

@@ -156,6 +156,257 @@ func AblationBatching(o Options, maxKids, extra int) AblationResult {
 	return r
 }
 
+// --- IKC transport ablation (exchange + service-query batching) ----------
+//
+// The unified transport (core/transport.go) extends the paper's batching
+// proposal beyond revocation to the other two IKC-heavy operations:
+// capability exchange (§4.3.2) and service queries (§4.3.3). These
+// experiments measure both on spanning fan-outs: N clients spread over
+// `extra` kernels all obtaining from one owner (exchange), or all opening a
+// session plus performing one session-scoped obtain against one service
+// (svcquery). Reported are the fan-out makespan and the inter-kernel wire
+// messages (a coalesced envelope counts once).
+
+// IKCRow compares plain and batched transport at one fan-out breadth.
+type IKCRow struct {
+	Clients       int
+	PlainCycles   sim.Duration
+	BatchedCycles sim.Duration
+	PlainMsgs     uint64
+	BatchedMsgs   uint64
+}
+
+// AblationIKCResult holds the transport ablation over fan-out breadths.
+type AblationIKCResult struct {
+	ExtraKernels int
+	Exchange     []IKCRow
+	SvcQuery     []IKCRow
+}
+
+// ikcWireMsgs sums the inter-kernel wire messages of a run.
+func ikcWireMsgs(sys *core.System) uint64 {
+	var msgs uint64
+	for ki := 0; ki < sys.Kernels(); ki++ {
+		msgs += sys.Kernel(ki).Stats().IKCSent
+	}
+	return msgs
+}
+
+// ablationIKCSystem builds the fan-out machine: the owner/service group
+// plus `extra` client groups, n clients spread round-robin over them.
+func ablationIKCSystem(eng *sim.Engine, n, extra int, pol core.IKCBatching) (*core.System, []int) {
+	kernels := extra + 1
+	perGroup := n + 2
+	if extra > 0 {
+		perGroup = (n+extra-1)/extra + 2
+	}
+	sys := core.MustNew(core.Config{
+		Kernels:     kernels,
+		UserPEs:     kernels * perGroup,
+		IKCBatching: pol,
+		Engine:      eng,
+	})
+	byGroup := make(map[int][]int)
+	for _, pe := range sys.UserPEs() {
+		g := sys.KernelOfPE(pe).ID()
+		byGroup[g] = append(byGroup[g], pe)
+	}
+	clientPEs := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		g := 0
+		if extra > 0 {
+			g = 1 + i%extra
+		}
+		clientPEs = append(clientPEs, byGroup[g][1+i/max(extra, 1)])
+	}
+	return sys, append([]int{byGroup[0][0]}, clientPEs...)
+}
+
+// ablationExchange measures n spanning obtains of one root capability,
+// returning the fan-out makespan and the inter-kernel wire messages.
+func ablationExchange(eng *sim.Engine, n, extra int, batched bool) (sim.Duration, uint64) {
+	sys, pes := ablationIKCSystem(eng, n, extra, core.IKCBatching{Exchange: batched})
+	defer sys.Close()
+	ready := sim.NewFuture[cap.Selector](sys.Eng)
+	var t0 sim.Time
+	var end sim.Time
+	var wg sim.WaitGroup
+	wg.Add(n)
+	root, err := sys.SpawnOn(pes[0], "root", func(v *core.VPE, p *sim.Proc) {
+		sel, err := v.AllocMem(p, 4096, dtu.PermRW)
+		if err != nil {
+			panic(err)
+		}
+		t0 = p.Now()
+		ready.Complete(sel)
+		wg.Wait(p)
+		end = p.Now()
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := sys.SpawnOn(pes[1+i], fmt.Sprintf("c%d", i), func(v *core.VPE, p *sim.Proc) {
+			sel := ready.Wait(p)
+			if _, err := v.ObtainFrom(p, root.ID, sel); err != nil {
+				panic(err)
+			}
+			wg.Done()
+		}); err != nil {
+			panic(err)
+		}
+	}
+	sys.Run()
+	return end - t0, ikcWireMsgs(sys)
+}
+
+// ablationSvcQuery measures n clients each opening a session to one
+// service and performing one session-scoped obtain, returning the fan-out
+// makespan and the inter-kernel wire messages.
+func ablationSvcQuery(eng *sim.Engine, n, extra int, batched bool) (sim.Duration, uint64) {
+	sys, pes := ablationIKCSystem(eng, n, extra, core.IKCBatching{ServiceQuery: batched})
+	defer sys.Close()
+	svcReady := sim.NewFuture[struct{}](sys.Eng)
+	var t0 sim.Time
+	var end sim.Time
+	var idents uint64
+	if _, err := sys.SpawnOn(pes[0], "svc", func(v *core.VPE, p *sim.Proc) {
+		sel, err := v.AllocMem(p, 4096, dtu.PermRW)
+		if err != nil {
+			panic(err)
+		}
+		err = v.RegisterService(p, "fan", core.ServiceHandlers{
+			Open: func(p *sim.Proc, clientVPE int, args any) core.SvcResult {
+				idents++
+				return core.SvcResult{Ident: idents}
+			},
+			Obtain: func(p *sim.Proc, ident uint64, args any) core.SvcResult {
+				return core.SvcResult{SrcSel: sel}
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		t0 = p.Now()
+		svcReady.Complete(struct{}{})
+		v.ServeLoop(p)
+	}); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := sys.SpawnOn(pes[1+i], fmt.Sprintf("c%d", i), func(v *core.VPE, p *sim.Proc) {
+			svcReady.Wait(p)
+			sess, err := v.CreateSession(p, "fan", nil)
+			if err != nil {
+				panic(err)
+			}
+			if _, _, err := sess.Obtain(p, nil); err != nil {
+				panic(err)
+			}
+			if end < p.Now() {
+				end = p.Now()
+			}
+		}); err != nil {
+			panic(err)
+		}
+	}
+	sys.Run()
+	return end - t0, ikcWireMsgs(sys)
+}
+
+// AblationIKC measures the unified-transport batching of capability
+// exchange and service queries against the plain per-request transport,
+// spreading the clients over 1+extra kernels. Every (breadth, operation,
+// variant) cell is an independent simulation on the harness pool.
+func AblationIKC(o Options, maxClients, extra int) AblationIKCResult {
+	if maxClients <= 0 {
+		maxClients = 96
+	}
+	if extra <= 0 {
+		extra = 12
+	}
+	var breadths []int
+	for n := 16; n <= maxClients; n += 16 {
+		breadths = append(breadths, n)
+	}
+	kind := []struct {
+		name string
+		run  func(eng *sim.Engine, n int, batched bool) (sim.Duration, uint64)
+	}{
+		{"exchange", func(eng *sim.Engine, n int, batched bool) (sim.Duration, uint64) {
+			return ablationExchange(eng, n, extra, batched)
+		}},
+		{"svcquery", func(eng *sim.Engine, n int, batched bool) (sim.Duration, uint64) {
+			return ablationSvcQuery(eng, n, extra, batched)
+		}},
+	}
+	variants := []struct {
+		suffix  string
+		batched bool
+	}{{"plain", false}, {"batched", true}}
+
+	var tasks []Task
+	msgs := make([]uint64, len(kind)*len(breadths)*len(variants))
+	idx := func(k, b, v int) int { return (k*len(breadths)+b)*len(variants) + v }
+	for ki, kd := range kind {
+		for bi, n := range breadths {
+			for vi, va := range variants {
+				ki, bi, vi, n, kd, va := ki, bi, vi, n, kd, va
+				tasks = append(tasks, Task{
+					Experiment: "ablation/" + kd.name + "-" + va.suffix,
+					Config:     ExpConfig{Kernels: extra + 1, Instances: n},
+					Run: func(eng *sim.Engine) (Metrics, error) {
+						c, m := kd.run(eng, n, va.batched)
+						msgs[idx(ki, bi, vi)] = m
+						return Metrics{Cycles: uint64(c)}, nil
+					},
+				})
+			}
+		}
+	}
+	rs := RunTasks(o.Parallel, tasks)
+	mustOK(rs)
+	r := AblationIKCResult{ExtraKernels: extra}
+	for ki := range kind {
+		rows := make([]IKCRow, 0, len(breadths))
+		for bi, n := range breadths {
+			base := idx(ki, bi, 0)
+			rows = append(rows, IKCRow{
+				Clients:       n,
+				PlainCycles:   sim.Duration(rs[base].Metrics.Cycles),
+				BatchedCycles: sim.Duration(rs[base+1].Metrics.Cycles),
+				PlainMsgs:     msgs[base],
+				BatchedMsgs:   msgs[base+1],
+			})
+		}
+		if ki == 0 {
+			r.Exchange = rows
+		} else {
+			r.SvcQuery = rows
+		}
+	}
+	o.record(rs)
+	return r
+}
+
+// Print writes the transport ablation tables.
+func (r AblationIKCResult) Print(w io.Writer) {
+	section := func(name string, rows []IKCRow) {
+		fmt.Fprintf(w, "Ablation: %s batching (fan-out over 1+%d kernels)\n", name, r.ExtraKernels)
+		fmt.Fprintln(w, "clients  plain(µs)  batched(µs)  speedup   plain-msgs  batched-msgs")
+		for _, row := range rows {
+			fmt.Fprintf(w, "%6d   %9.2f  %11.2f  %6.2fx   %10d  %12d\n",
+				row.Clients,
+				float64(row.PlainCycles)/core.CyclesPerMicrosecond,
+				float64(row.BatchedCycles)/core.CyclesPerMicrosecond,
+				float64(row.PlainCycles)/float64(row.BatchedCycles),
+				row.PlainMsgs, row.BatchedMsgs)
+		}
+	}
+	section("capability exchange", r.Exchange)
+	section("service query", r.SvcQuery)
+}
+
 // Print writes the ablation table.
 func (r AblationResult) Print(w io.Writer) {
 	fmt.Fprintf(w, "Ablation: revoke message batching (tree over 1+%d kernels)\n", r.ExtraKernels)

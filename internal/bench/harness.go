@@ -78,9 +78,7 @@ func RunTasks(parallel int, tasks []Task) []Result {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
-	if parallel > len(tasks) {
-		parallel = len(tasks)
-	}
+	parallel = min(parallel, len(tasks))
 	results := make([]Result, len(tasks))
 	if len(tasks) == 0 {
 		return results

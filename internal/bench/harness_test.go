@@ -209,3 +209,41 @@ func TestRunTasksCapturesProcPanic(t *testing.T) {
 		t.Errorf("healthy task corrupted: %+v", rs[1])
 	}
 }
+
+// TestBatchedParallelDeterminism: the batched-transport ablation — every
+// configuration with IKC batching enabled — produces bit-identical
+// simulated metrics regardless of the harness worker-pool size (and thus
+// regardless of which pooled, previously-dirtied engine each task lands
+// on).
+func TestBatchedParallelDeterminism(t *testing.T) {
+	sweep := func(parallel int) AblationIKCResult {
+		o := Quick()
+		o.Parallel = parallel
+		return AblationIKC(o, 32, 3)
+	}
+	serial, parallel := sweep(1), sweep(4)
+	if len(serial.Exchange) == 0 || len(serial.SvcQuery) == 0 {
+		t.Fatal("empty ablation result")
+	}
+	for i := range serial.Exchange {
+		if serial.Exchange[i] != parallel.Exchange[i] {
+			t.Errorf("exchange row %d differs:\n  serial:   %+v\n  parallel: %+v",
+				i, serial.Exchange[i], parallel.Exchange[i])
+		}
+	}
+	for i := range serial.SvcQuery {
+		if serial.SvcQuery[i] != parallel.SvcQuery[i] {
+			t.Errorf("svcquery row %d differs:\n  serial:   %+v\n  parallel: %+v",
+				i, serial.SvcQuery[i], parallel.SvcQuery[i])
+		}
+	}
+	// Batching must strictly reduce wire messages at every breadth.
+	for _, rows := range [][]IKCRow{serial.Exchange, serial.SvcQuery} {
+		for _, row := range rows {
+			if row.BatchedMsgs >= row.PlainMsgs {
+				t.Errorf("no message reduction at %d clients: %d vs %d",
+					row.Clients, row.BatchedMsgs, row.PlainMsgs)
+			}
+		}
+	}
+}

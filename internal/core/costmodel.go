@@ -139,4 +139,8 @@ const (
 	vpeQueryBytes   = 48
 	svcReqBytes     = 64
 	svcRepBytes     = 64
+	// ikcBatchedReqBytes is the per-request payload inside a coalesced
+	// envelope: a request standalone costs ikcMsgBytes plus the DTU header,
+	// batched it shares the envelope's header and drops per-message framing.
+	ikcBatchedReqBytes = 72
 )

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/sim"
+import (
+	"repro/internal/dtu"
+	"repro/internal/sim"
+)
 
 // Inter-kernel calls (paper §4.1): kernels communicate via messages over
 // the NoC, adhering to a messaging protocol with per-pair FIFO ordering
@@ -52,10 +55,21 @@ func (k *Kernel) ikSend(p *sim.Proc, dst int, req *ikcRequest) *sim.Future[*ikcR
 	return fut
 }
 
-// ikCall performs a blocking inter-kernel call: send the request, release
-// the CPU (preemption point), wait for the reply.
+// ikSubmit hands a request to the unified transport: kinds the batching
+// policy covers join a per-destination aggregation queue (transport.go) and
+// travel in a coalesced envelope; everything else is a direct ikSend. With
+// batching disabled this is exactly ikSend.
+func (k *Kernel) ikSubmit(p *sim.Proc, dst int, req *ikcRequest) *sim.Future[*ikcReply] {
+	if k.xport.batches(req.Kind) {
+		return k.xport.enqueue(p, dst, req)
+	}
+	return k.ikSend(p, dst, req)
+}
+
+// ikCall performs a blocking inter-kernel call: submit the request to the
+// transport, release the CPU (preemption point), wait for the reply.
 func (k *Kernel) ikCall(p *sim.Proc, dst int, req *ikcRequest) *ikcReply {
-	fut := k.ikSend(p, dst, req)
+	fut := k.ikSubmit(p, dst, req)
 	rep := blockOn(k, p, fut)
 	delete(k.pending, req.Seq)
 	return rep
@@ -100,6 +114,43 @@ func (k *Kernel) recvRequest(req *ikcRequest) {
 	} else {
 		k.ikcPool.submit(job)
 	}
+}
+
+// recvBatch runs at the receiving kernel when a coalesced envelope arrives
+// at its batch endpoint (event context, one delivery event for the whole
+// vector). The envelope counts as one received wire message, occupies one
+// in-flight slot of its sender and is picked up by a single kernel thread,
+// which frees the shared receive slot, returns the in-flight credit and
+// dispatches the carried requests in order. Handlers reply to each request
+// individually (replies are not coalesced), and they may block at their
+// usual preemption points — the batch thread simply resumes with the next
+// request afterwards, serializing the batch the way the receiving kernel's
+// single CPU would anyway.
+func (k *Kernel) recvBatch(msgs []*dtu.Message) {
+	k.stats.IKCReceived++
+	reqs := make([]*ikcRequest, len(msgs))
+	for i, m := range msgs {
+		reqs[i] = m.Payload.(*ikcRequest)
+	}
+	batch := &ikcBatch{From: reqs[0].From, Kind: reqs[0].Kind, Reqs: reqs}
+	for _, req := range reqs {
+		if req.From != batch.From || req.Kind != batch.Kind {
+			panic("core: mixed envelope — batches must carry one kind from one kernel")
+		}
+	}
+	k.ikcPool.submit(func(p *sim.Proc) {
+		k.acquireCPU(p)
+		for _, m := range msgs {
+			k.dtu.Free(m)
+		}
+		src := k.sys.kernels[batch.From]
+		k.sys.Eng.Schedule(0, func() { src.inflightTo(k.id).Release() })
+		for _, req := range batch.Reqs {
+			k.exec(p, k.sys.Cost.IKCDispatch)
+			k.dispatchRequest(p, req)
+		}
+		k.releaseCPU()
+	})
 }
 
 // dispatchRequest routes a request to its handler. Handlers run on a kernel

@@ -59,7 +59,24 @@ func TestInterferenceSerialized(t *testing.T) {
 // holds an orphaned child, which the requester's kernel removes via a
 // notification (paper §4.3.2, case 1).
 func TestInterferenceOrphaned(t *testing.T) {
-	s := newTestSystem(t, 2, 2)
+	runInterferenceOrphaned(t, Config{Kernels: 2, UserPEs: 2})
+}
+
+// TestInterferenceOrphanedBatched: the same race with the obtain riding
+// the batched transport — aggregation delays the request but must not
+// change the outcome.
+func TestInterferenceOrphanedBatched(t *testing.T) {
+	runInterferenceOrphaned(t, Config{
+		Kernels:     2,
+		UserPEs:     2,
+		IKCBatching: IKCBatching{Exchange: true, ServiceQuery: true},
+	})
+}
+
+func runInterferenceOrphaned(t *testing.T, cfg Config) {
+	t.Helper()
+	s := MustNew(cfg)
+	t.Cleanup(s.Close)
 	ready := sim.NewFuture[cap.Selector](s.Eng)
 	var requester *VPE
 	owner, _ := s.SpawnOn(2, "owner", func(v *VPE, p *sim.Proc) {
@@ -106,9 +123,20 @@ func TestInterferenceOrphaned(t *testing.T) {
 // receiver would keep a live capability with no parent link; the handshake
 // must abort the delegation instead (paper §4.3.2, case 2).
 func TestInterferenceInvalid(t *testing.T) {
+	runInterferenceInvalid(t, IKCBatching{})
+}
+
+// TestInterferenceInvalidBatched: the delegate handshake must survive a
+// mid-flight revocation also when step 1 travels in a batched envelope.
+func TestInterferenceInvalidBatched(t *testing.T) {
+	runInterferenceInvalid(t, IKCBatching{Exchange: true, ServiceQuery: true})
+}
+
+func runInterferenceInvalid(t *testing.T, b IKCBatching) {
+	t.Helper()
 	cost := DefaultCostModel()
 	cost.VPEAccept = 50_000 // widen the in-flight window so the revoke wins
-	s := MustNew(Config{Kernels: 2, UserPEs: 4, Cost: &cost})
+	s := MustNew(Config{Kernels: 2, UserPEs: 4, Cost: &cost, IKCBatching: b})
 	defer s.Close()
 
 	rootReady := sim.NewFuture[cap.Selector](s.Eng)

@@ -13,8 +13,10 @@ import (
 // of the kernel PE, which divided by elapsed time gives its utilization.
 type KernelStats struct {
 	Syscalls    uint64
-	IKCSent     uint64
-	IKCReceived uint64
+	IKCSent     uint64 // inter-kernel wire messages sent (an envelope counts once)
+	IKCReceived uint64 // inter-kernel wire messages received
+	IKCBatched  uint64 // requests that travelled inside a coalesced envelope
+	IKCBatches  uint64 // coalesced envelopes sent
 	Obtains     uint64
 	Delegates   uint64
 	Revokes     uint64
@@ -29,6 +31,8 @@ func (a *KernelStats) add(b KernelStats) {
 	a.Syscalls += b.Syscalls
 	a.IKCSent += b.IKCSent
 	a.IKCReceived += b.IKCReceived
+	a.IKCBatched += b.IKCBatched
+	a.IKCBatches += b.IKCBatches
 	a.Obtains += b.Obtains
 	a.Delegates += b.Delegates
 	a.Revokes += b.Revokes
@@ -72,6 +76,10 @@ type Kernel struct {
 	revokePool     *pool
 	completionPool *pool // revoke-reply processing ("main loop" work)
 
+	// xport is the unified IKC transport: per-destination aggregation
+	// queues and the batching policy (transport.go).
+	xport *transport
+
 	// inflight limits unprocessed requests per destination kernel.
 	inflight map[int]*sim.Semaphore
 	pending  map[uint64]*sim.Future[*ikcReply]
@@ -109,9 +117,10 @@ func newKernel(s *System, id int) *Kernel {
 			k.group = append(k.group, pe)
 		}
 	}
-	k.syscallPool = newPool(k, "sys", maxInt(len(k.group), 1))
+	k.syscallPool = newPool(k, "sys", max(len(k.group), 1))
 	k.ikcPool = newPool(k, "ikc", MaxKernels*MaxInflight)
 	k.revokePool = newPool(k, "rev", RevokeThreads)
+	k.xport = newTransport(k, s.cfg.batchingPolicy())
 	// Configure the kernel DTU's syscall receive endpoints; messages are
 	// dispatched to the syscall pool.
 	for ep := 2; ep < 2+SyscallRecvEPs; ep++ {
@@ -119,6 +128,9 @@ func newKernel(s *System, id int) *Kernel {
 			panic(err)
 		}
 	}
+	// The coalesced-envelope endpoint. One envelope is one wire message and
+	// occupies one slot, so the in-flight bound per peer sizes the budget.
+	must(k.dtu.ConfigureRecvVec(k.dtu, ikcBatchEP, MaxKernels*MaxInflight, k.recvBatch))
 	return k
 }
 
@@ -267,13 +279,6 @@ func (k *Kernel) askVPE(p *sim.Proc, v *VPE, q ExchangeQuery) bool {
 // mintKey creates a fresh DDL key whose partition belongs to this kernel.
 func (k *Kernel) mintKey(creatorPE, creatorVPE int, typ ddl.Type) ddl.Key {
 	return k.gen.Next(creatorPE, creatorVPE, typ)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func must(err error) {

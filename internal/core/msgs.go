@@ -166,6 +166,31 @@ type ikcRequest struct {
 	ChildObj uint64
 }
 
+// ikcBatch is the unified transport's aggregation envelope: N requests of
+// one kind from one kernel to another, travelling as one DTU wire message
+// (the requests are the items of a single coalesced vector — one NoC
+// transfer, one receive slot, one delivery event and one kernel-thread
+// pickup at the destination). The sender's flush assembles it from a
+// per-destination queue (transport.go, flushLocked) and the receiver
+// reassembles it from the delivered vector (ikc.go, recvBatch), which also
+// verifies the one-kind invariant. The requests keep their individual
+// sequence numbers, so each is answered by its own reply; only the request
+// direction is coalesced.
+type ikcBatch struct {
+	From int
+	Kind ikcKind
+	Reqs []*ikcRequest
+}
+
+// items lays the envelope out as the coalesced DTU vector it travels in.
+func (b *ikcBatch) items() []dtu.VecItem {
+	items := make([]dtu.VecItem, len(b.Reqs))
+	for i, r := range b.Reqs {
+		items[i] = dtu.VecItem{Payload: r, Size: ikcBatchedReqBytes}
+	}
+	return items
+}
+
 // ikcReply is the payload of an inter-kernel reply message.
 type ikcReply struct {
 	Seq  uint64

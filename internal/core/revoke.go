@@ -35,16 +35,8 @@ type revState struct {
 	done    bool
 	// marked are the keys marked under this state, for map cleanup.
 	marked []ddl.Key
-	// pendingRemote collects remote children during the mark phase when
-	// batching is enabled; they are flushed as one request per kernel.
-	pendingRemote []remoteChild
 	// waiters run (on the finishing proc, CPU held) after the sweep.
 	waiters []func(p *sim.Proc)
-}
-
-type remoteChild struct {
-	kernel int
-	key    ddl.Key
 }
 
 // sysRevoke is the syscall entry point.
@@ -76,7 +68,7 @@ func (k *Kernel) revokeSubtree(p *sim.Proc, c *cap.Capability) {
 	rs := &revState{root: c, sending: true}
 	parentKey := c.Parent
 	k.revokeChildren(p, c, rs)
-	k.flushRevokeBatches(p, rs)
+	k.xport.flushRevokes(p, rs)
 	rs.sending = false
 	// Unlink the root from its parent (the parent survives this revoke).
 	if parentKey != 0 {
@@ -131,37 +123,16 @@ func (k *Kernel) revokeChildren(p *sim.Proc, c *cap.Capability, rs *revState) {
 				continue
 			}
 			k.revokeChildren(p, child, rs)
-		} else if k.sys.cfg.RevokeBatching {
-			rs.pendingRemote = append(rs.pendingRemote, remoteChild{kernel: owner, key: childKey})
+		} else if k.xport.pol.Revoke {
+			// Batched revocation: queue the remote child on the unified
+			// transport; the barrier flush at the end of the mark walk
+			// sends one batched request per owning kernel (transport.go,
+			// flushRevokes) — the paper's §5.2 message-batching proposal.
+			k.xport.queueRevoke(owner, childKey, rs)
 		} else {
 			rs.outstanding++
 			k.sendRevokeRequest(p, owner, childKey, rs)
 		}
-	}
-}
-
-// flushRevokeBatches groups the remote children collected during the mark
-// phase by owning kernel and sends one batched revoke request per kernel —
-// the paper's proposed message-batching optimization (§5.2). Without
-// batching it is a no-op (requests were sent during the walk).
-func (k *Kernel) flushRevokeBatches(p *sim.Proc, rs *revState) {
-	if len(rs.pendingRemote) == 0 {
-		return
-	}
-	batches := make(map[int][]ddl.Key)
-	var order []int
-	for _, rc := range rs.pendingRemote {
-		if _, seen := batches[rc.kernel]; !seen {
-			order = append(order, rc.kernel)
-		}
-		batches[rc.kernel] = append(batches[rc.kernel], rc.key)
-	}
-	rs.pendingRemote = nil
-	for _, dst := range order {
-		keys := batches[dst]
-		rs.outstanding++
-		fut := k.ikSend(p, dst, &ikcRequest{Kind: ikcRevokeBatch, Keys: keys})
-		fut.OnComplete(func(*ikcReply) { k.compSubmit(rs) })
 	}
 }
 
@@ -281,7 +252,7 @@ func (k *Kernel) handleRevokeReq(p *sim.Proc, req *ikcRequest) {
 	}
 	rs := &revState{root: c, sending: true}
 	k.revokeChildren(p, c, rs)
-	k.flushRevokeBatches(p, rs)
+	k.xport.flushRevokes(p, rs)
 	rs.sending = false
 	if rs.outstanding == 0 {
 		k.finishRevocation(p, rs)
@@ -323,7 +294,7 @@ func (k *Kernel) handleRevokeBatchReq(p *sim.Proc, req *ikcRequest) {
 		}
 		rs := &revState{root: c, sending: true}
 		k.revokeChildren(p, c, rs)
-		k.flushRevokeBatches(p, rs)
+		k.xport.flushRevokes(p, rs)
 		rs.sending = false
 		if rs.outstanding == 0 {
 			k.finishRevocation(p, rs)

@@ -25,16 +25,37 @@ type Config struct {
 	Noc *noc.Config
 	// Cost overrides the cost model (nil uses DefaultCostModel).
 	Cost *CostModel
+	// IKCBatching configures the unified inter-kernel transport: which
+	// operation families (capability exchange, service queries, tree
+	// revocation) aggregate requests into coalesced per-destination
+	// envelopes, and the flush policy (see transport.go). The zero value
+	// disables all batching.
+	IKCBatching IKCBatching
 	// RevokeBatching enables the paper's proposed optimization (§5.2,
 	// "Tree revocation"): instead of one inter-kernel message per remote
 	// child, the kernel batches all children owned by the same kernel into
 	// a single revoke request.
+	//
+	// Deprecated: RevokeBatching is an alias for IKCBatching.Revoke and is
+	// kept so existing configurations work unchanged; setting either
+	// enables revoke batching with identical semantics.
 	RevokeBatching bool
 	// Engine, when non-nil, is the simulation engine to build on instead of
 	// a fresh sim.NewEngine. It must be in fresh state (new or Reset):
 	// time, sequence and event counters at zero and not killed. The bench
 	// harness uses this to recycle pooled engines across experiments.
 	Engine *sim.Engine
+}
+
+// batchingPolicy resolves the effective transport policy: the deprecated
+// RevokeBatching alias folds into IKCBatching.Revoke, and flush parameters
+// get their defaults.
+func (c Config) batchingPolicy() IKCBatching {
+	b := c.IKCBatching
+	if c.RevokeBatching {
+		b.Revoke = true
+	}
+	return b.withDefaults()
 }
 
 func (c Config) withDefaults() Config {

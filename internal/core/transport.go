@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ddl"
+	"repro/internal/sim"
+)
+
+// The unified IKC transport (paper §4.3 + the §5.2 message-batching
+// proposal, generalized). The paper implements batching only for tree
+// revocation; related capability systems make aggregation a property of the
+// transport instead, so every inter-kernel operation can ride it. This file
+// hoists that idea out of revoke.go: each kernel owns per-(destination,
+// request-kind) aggregation queues, and a configurable policy decides which
+// operation families are batched and when queues flush:
+//
+//   - inline, when a queue reaches MaxBatch (the enqueuing thread holds the
+//     CPU and composes the envelope itself);
+//   - after FlushWindow cycles, by the kernel's transmit thread (a timer
+//     armed when a queue goes non-empty hands the flush to the "xmit" proc,
+//     since every enqueuer is parked on its reply by then);
+//   - at protocol barriers: the revocation mark phase flushes its queues
+//     before the walk ends, preserving Algorithm 1's accounting.
+//
+// A flushed batch travels as one DTU message — dtu.SendVecTo coalesces the
+// requests into a single NoC transfer occupying a single receive slot and
+// raising a single delivery event — and is picked up by one kernel thread
+// (recvBatch), so the per-message handoffs of wide fan-outs collapse to one
+// per batch. Replies are not coalesced: each batched request keeps its own
+// sequence number and is answered individually, which keeps the two-way
+// delegation handshake and the Table 2 interference handling untouched
+// (receivers re-validate at dispatch time exactly as for direct sends, and
+// a batched request is indistinguishable from a slow direct one).
+//
+// Correctness of the flush points: delaying a request by at most
+// FlushWindow is equivalent to a slower NoC — every protocol in
+// exchange.go/service.go validates state at the receiver when the request
+// is dispatched and re-validates at the sender when the reply arrives, so
+// no handler depends on a bound for message latency. Ordering between
+// dependent messages is preserved because dependent sends (the delegate
+// ack, the orphan unlink) are only issued after the reply to the message
+// they depend on, and the NoC delivers per-(src,dst) FIFO for direct and
+// coalesced transfers alike.
+
+// IKCBatching configures the unified transport. The zero value disables
+// all batching (every request is a direct send, bit-identical to the
+// pre-transport behavior).
+type IKCBatching struct {
+	// Exchange batches group-spanning capability exchange requests
+	// (obtain, delegate) per destination kernel (§4.3.2).
+	Exchange bool
+	// ServiceQuery batches service-connection requests (session create,
+	// session-scoped obtain/delegate) per destination kernel (§4.3.3).
+	ServiceQuery bool
+	// Revoke batches tree-revocation requests for remote children, one
+	// envelope per owning kernel, collected during the mark phase and
+	// flushed at its end (the paper's §5.2 proposal). Config.RevokeBatching
+	// is a deprecated alias for this flag.
+	Revoke bool
+	// MaxBatch flushes an exchange/service-query queue inline when it
+	// reaches this many requests (default DefaultMaxBatch). Revoke batches
+	// are bounded by the mark phase instead, matching the original
+	// RevokeBatching semantics.
+	MaxBatch int
+	// FlushWindow is how long a non-empty exchange/service-query queue may
+	// wait for more requests before the transmit thread flushes it
+	// (default DefaultFlushWindow cycles).
+	FlushWindow sim.Duration
+}
+
+// Transport defaults.
+const (
+	// DefaultMaxBatch is the inline-flush threshold per destination queue.
+	DefaultMaxBatch = 16
+	// DefaultFlushWindow is the aggregation window in cycles (0.5 µs at
+	// 2 GHz): long enough to capture concurrent spanning operations, short
+	// against the multi-thousand-cycle cost of the operations themselves.
+	DefaultFlushWindow sim.Duration = 1000
+)
+
+// Enabled reports whether any operation family is batched.
+func (b IKCBatching) Enabled() bool {
+	return b.Exchange || b.ServiceQuery || b.Revoke
+}
+
+// withDefaults fills MaxBatch and FlushWindow.
+func (b IKCBatching) withDefaults() IKCBatching {
+	if b.MaxBatch <= 0 {
+		b.MaxBatch = DefaultMaxBatch
+	}
+	if b.FlushWindow == 0 {
+		b.FlushWindow = DefaultFlushWindow
+	}
+	return b
+}
+
+// ikcBatchEP is the kernel DTU endpoint receiving coalesced batch
+// envelopes. Kernel endpoints 2..2+SyscallRecvEPs-1 receive syscalls; this
+// one sits above them. Its slot budget covers the in-flight bound of every
+// peer (one envelope is one wire message and occupies one slot), mirroring
+// the guarantee the in-flight accounting gives direct sends.
+const ikcBatchEP = 2 + SyscallRecvEPs
+
+// batchClass groups request kinds into the policy's operation families.
+type batchClass uint8
+
+const (
+	classNone batchClass = iota
+	classExchange
+	classSvcQuery
+	classRevoke
+)
+
+// classOf maps a request kind to its batching family. Handshake
+// completions (delegate-ack) and notifications (unlink-child) are never
+// batched: they are latency-critical tails of an operation that already
+// paid its round trips.
+func classOf(kind ikcKind) batchClass {
+	switch kind {
+	case ikcObtain, ikcDelegate:
+		return classExchange
+	case ikcSession, ikcObtainSess, ikcDelegateSess:
+		return classSvcQuery
+	case ikcRevoke:
+		return classRevoke
+	default:
+		return classNone
+	}
+}
+
+// qkey identifies one aggregation queue: requests of one kind bound for one
+// kernel (so every envelope carries N requests of a single kind).
+type qkey struct {
+	dst  int
+	kind ikcKind
+}
+
+// sendQueue is one aggregation queue. epoch distinguishes queue
+// generations so a flush timer armed for an already-flushed generation is a
+// no-op.
+type sendQueue struct {
+	reqs  []*ikcRequest
+	epoch uint64
+}
+
+// revokeEntry is one remote child queued during a revocation mark phase.
+type revokeEntry struct {
+	dst int
+	key ddl.Key
+	rs  *revState
+}
+
+// transport is a kernel's sending half of the unified IKC layer.
+type transport struct {
+	k   *Kernel
+	pol IKCBatching
+
+	queues map[qkey]*sendQueue
+	// revQ holds remote revocation targets between a mark walk and its
+	// barrier flush. The kernel CPU is held for the whole walk, so the
+	// queue only ever contains entries of the revocation being walked.
+	revQ []revokeEntry
+
+	// flushQ feeds the transmit proc; spawned lazily on the first
+	// timer-driven flush so unbatched configurations create no procs.
+	flushQ  *sim.Queue[qkey]
+	spawned bool
+}
+
+func newTransport(k *Kernel, pol IKCBatching) *transport {
+	return &transport{
+		k:      k,
+		pol:    pol.withDefaults(),
+		queues: make(map[qkey]*sendQueue),
+		flushQ: sim.NewQueue[qkey](k.sys.Eng),
+	}
+}
+
+// batches reports whether requests of this kind ride aggregation queues.
+// Revocation is excluded here: the mark walk queues its remote children
+// explicitly (queueRevoke) so the barrier flush can keep Algorithm 1's
+// outstanding-reply accounting.
+func (t *transport) batches(kind ikcKind) bool {
+	switch classOf(kind) {
+	case classExchange:
+		return t.pol.Exchange
+	case classSvcQuery:
+		return t.pol.ServiceQuery
+	default:
+		return false
+	}
+}
+
+func (t *transport) queue(key qkey) *sendQueue {
+	q := t.queues[key]
+	if q == nil {
+		q = &sendQueue{}
+		t.queues[key] = q
+	}
+	return q
+}
+
+// enqueue appends req to its aggregation queue and returns the future its
+// reply will complete. The caller holds the CPU; the compose cost models
+// marshalling the request into the batch buffer. The queue flushes inline
+// at MaxBatch; otherwise the first request of a generation arms the
+// FlushWindow timer.
+func (t *transport) enqueue(p *sim.Proc, dst int, req *ikcRequest) *sim.Future[*ikcReply] {
+	k := t.k
+	if dst == k.id {
+		panic("core: inter-kernel call to self")
+	}
+	k.exec(p, k.sys.Cost.IKCCompose)
+	req.Seq = k.nextSeq()
+	req.From = k.id
+	fut := sim.NewFuture[*ikcReply](k.sys.Eng)
+	k.pending[req.Seq] = fut
+	k.stats.IKCBatched++
+
+	key := qkey{dst: dst, kind: req.Kind}
+	q := t.queue(key)
+	q.reqs = append(q.reqs, req)
+	if len(q.reqs) >= t.pol.MaxBatch {
+		t.flushLocked(p, key)
+	} else if len(q.reqs) == 1 {
+		epoch := q.epoch
+		k.sys.Eng.Schedule(t.pol.FlushWindow, func() { t.timerFire(key, epoch) })
+	}
+	return fut
+}
+
+// timerFire runs in event context when a queue's aggregation window
+// closes. If the generation is still pending, the flush is handed to the
+// transmit proc (the enqueuers are parked on their replies and cannot
+// flush themselves).
+func (t *transport) timerFire(key qkey, epoch uint64) {
+	q := t.queues[key]
+	if q == nil || q.epoch != epoch || len(q.reqs) == 0 {
+		return // already flushed inline
+	}
+	if !t.spawned {
+		t.spawned = true
+		t.k.sys.Eng.Spawn(fmt.Sprintf("k%d/xmit", t.k.id), func(p *sim.Proc) {
+			for {
+				k := t.flushQ.Pop(p)
+				t.flushFrom(p, k)
+			}
+		})
+	}
+	t.flushQ.Push(key)
+}
+
+// flushFrom is the transmit proc's entry: acquire the CPU like any kernel
+// thread, then flush. The queue may have been flushed inline meanwhile;
+// that makes this a no-op.
+func (t *transport) flushFrom(p *sim.Proc, key qkey) {
+	q := t.queues[key]
+	if q == nil || len(q.reqs) == 0 {
+		return
+	}
+	t.k.acquireCPU(p)
+	t.flushLocked(p, key)
+	t.k.releaseCPU()
+}
+
+// flushLocked drains one queue and transmits its requests as a single
+// coalesced envelope. The caller holds the CPU. The queue is detached
+// before any preemption point, so requests enqueued while this envelope
+// waits for an in-flight slot start a fresh generation.
+func (t *transport) flushLocked(p *sim.Proc, key qkey) {
+	q := t.queues[key]
+	if q == nil || len(q.reqs) == 0 {
+		return
+	}
+	reqs := q.reqs
+	q.reqs = nil
+	q.epoch++
+
+	k := t.k
+	k.exec(p, k.sys.Cost.IKCCompose) // envelope header compose
+	k.stats.IKCSent++
+	k.stats.IKCBatches++
+	sem := k.inflightTo(key.dst)
+	if !sem.TryAcquire() {
+		k.releaseCPU()
+		sem.Acquire(p)
+		k.acquireCPU(p)
+	}
+	env := &ikcBatch{From: k.id, Kind: key.kind, Reqs: reqs}
+	dk := k.sys.kernels[key.dst]
+	must(k.dtu.SendVecTo(dk.pe, ikcBatchEP, env.items()))
+}
+
+// queueRevoke records a remote child of a running revocation mark phase.
+// The barrier flush (flushRevokes) groups the children by owning kernel.
+func (t *transport) queueRevoke(dst int, key ddl.Key, rs *revState) {
+	t.revQ = append(t.revQ, revokeEntry{dst: dst, key: key, rs: rs})
+}
+
+// flushRevokes is the revocation barrier flush: group rs's remote children
+// by owning kernel (in first-seen order) and send one batched revoke
+// request per kernel, counting one outstanding reply each — exactly the
+// grouping the pre-transport flushRevokeBatches performed, so batched
+// revocation keeps its original event sequence. The envelope stays the
+// dedicated ikcRevokeBatch request (one reply for the whole batch,
+// completed by the receiver's continuation machinery) rather than the
+// generic per-request-reply envelope of the other classes.
+func (t *transport) flushRevokes(p *sim.Proc, rs *revState) {
+	if len(t.revQ) == 0 {
+		return
+	}
+	batches := make(map[int][]ddl.Key)
+	var order []int
+	var rest []revokeEntry
+	for _, e := range t.revQ {
+		if e.rs != rs {
+			rest = append(rest, e) // defensive; the CPU discipline makes this unreachable
+			continue
+		}
+		if _, seen := batches[e.dst]; !seen {
+			order = append(order, e.dst)
+		}
+		batches[e.dst] = append(batches[e.dst], e.key)
+	}
+	t.revQ = rest
+	k := t.k
+	for _, dst := range order {
+		rs.outstanding++
+		fut := k.ikSend(p, dst, &ikcRequest{Kind: ikcRevokeBatch, Keys: batches[dst]})
+		fut.OnComplete(func(*ikcReply) { k.compSubmit(rs) })
+	}
+}

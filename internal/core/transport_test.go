@@ -1,0 +1,278 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cap"
+	"repro/internal/dtu"
+	"repro/internal/sim"
+)
+
+// Tests for the unified IKC transport: cross-operation batching of
+// capability exchange and service queries, coalesced DTU delivery, the
+// deprecated RevokeBatching alias, and bit-reproducibility of batched
+// configurations.
+
+// wireStats sums the inter-kernel wire traffic of a run.
+type wireStats struct {
+	ikcSent    uint64 // inter-kernel wire messages (envelope counts once)
+	ikcBatched uint64 // requests that rode inside an envelope
+	nocMsgs    uint64 // every NoC delivery event (incl. syscalls, replies)
+	vecs       uint64 // coalesced DTU vector deliveries
+}
+
+func gatherWire(s *System) wireStats {
+	var w wireStats
+	for ki := 0; ki < s.Kernels(); ki++ {
+		st := s.Kernel(ki).Stats()
+		w.ikcSent += st.IKCSent
+		w.ikcBatched += st.IKCBatched
+		w.vecs += s.Fab.DTU(s.Kernel(ki).PE()).Stats().VecDeliveries
+	}
+	w.nocMsgs = s.Net.Stats().Messages
+	return w
+}
+
+// runFanoutObtain spreads n obtainers over the kernels of cfg and lets each
+// obtain the same root capability (a group-spanning obtain for every VPE
+// outside the root's group). It returns the system after the run.
+func runFanoutObtain(t *testing.T, cfg Config, n int) *System {
+	t.Helper()
+	s := MustNew(cfg)
+	t.Cleanup(s.Close)
+	ready := sim.NewFuture[cap.Selector](s.Eng)
+	root, err := s.SpawnOn(s.userPEs[0], "root", func(v *VPE, p *sim.Proc) {
+		sel, err := v.AllocMem(p, 4096, dtu.PermRW)
+		if err != nil {
+			t.Errorf("alloc: %v", err)
+			return
+		}
+		ready.Complete(sel)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := s.SpawnOn(s.userPEs[1+i], "kid", func(v *VPE, p *sim.Proc) {
+			sel := ready.Wait(p)
+			if _, err := v.ObtainFrom(p, root.ID, sel); err != nil {
+				t.Errorf("obtain: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	return s
+}
+
+// TestExchangeBatchingReducesMessages: with exchange batching on, a
+// spanning obtain fan-out needs strictly fewer inter-kernel wire messages
+// and strictly fewer NoC delivery events, and the batched requests arrive
+// in coalesced DTU vectors.
+func TestExchangeBatchingReducesMessages(t *testing.T) {
+	const kids = 12
+	run := func(b IKCBatching) (wireStats, int) {
+		s := runFanoutObtain(t, Config{Kernels: 4, UserPEs: kids + 7, IKCBatching: b}, kids)
+		return gatherWire(s), memCapsEverywhere(s)
+	}
+	plain, plainCaps := run(IKCBatching{})
+	batched, batchedCaps := run(IKCBatching{Exchange: true})
+
+	if plainCaps != batchedCaps {
+		t.Fatalf("batched run created %d mem caps, plain %d", batchedCaps, plainCaps)
+	}
+	if batched.ikcSent >= plain.ikcSent {
+		t.Fatalf("exchange batching did not reduce IKC messages: %d vs %d", batched.ikcSent, plain.ikcSent)
+	}
+	if batched.nocMsgs >= plain.nocMsgs {
+		t.Fatalf("exchange batching did not reduce NoC deliveries: %d vs %d", batched.nocMsgs, plain.nocMsgs)
+	}
+	if batched.ikcBatched == 0 || batched.vecs == 0 {
+		t.Fatalf("no coalesced traffic recorded: batched=%d vecs=%d", batched.ikcBatched, batched.vecs)
+	}
+	if plain.ikcBatched != 0 || plain.vecs != 0 {
+		t.Fatalf("unbatched run produced coalesced traffic: batched=%d vecs=%d", plain.ikcBatched, plain.vecs)
+	}
+}
+
+// TestExchangeBatchingCorrect: a batched fan-out obtain followed by a
+// batched tree revocation leaves no capability behind and keeps the
+// mapping-database invariants.
+func TestExchangeBatchingCorrect(t *testing.T) {
+	const kids = 9
+	cfg := Config{
+		Kernels:     4,
+		UserPEs:     kids + 7,
+		IKCBatching: IKCBatching{Exchange: true, ServiceQuery: true, Revoke: true},
+	}
+	s, _ := buildFanout(t, cfg, kids)
+	if n := memCapsEverywhere(s); n != 0 {
+		t.Fatalf("%d mem caps survived batched revoke after batched obtains", n)
+	}
+	checkAllInvariants(t, s)
+}
+
+// runServiceFanout registers a service on kernel 0 and lets n clients on
+// other kernels open a session and perform one session-scoped obtain each
+// (both group-spanning service queries).
+func runServiceFanout(t *testing.T, cfg Config, n int) (*System, *uint64) {
+	t.Helper()
+	s := MustNew(cfg)
+	t.Cleanup(s.Close)
+	svcReady := sim.NewFuture[struct{}](s.Eng)
+	var opened uint64
+	_, err := s.SpawnOn(s.userPEs[0], "svc", func(v *VPE, p *sim.Proc) {
+		sel, err := v.AllocMem(p, 4096, dtu.PermRW)
+		if err != nil {
+			t.Errorf("svc alloc: %v", err)
+			return
+		}
+		err = v.RegisterService(p, "buf", ServiceHandlers{
+			Open: func(p *sim.Proc, clientVPE int, args any) SvcResult {
+				opened++
+				return SvcResult{Ident: opened}
+			},
+			Obtain: func(p *sim.Proc, ident uint64, args any) SvcResult {
+				return SvcResult{SrcSel: sel}
+			},
+		})
+		if err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		svcReady.Complete(struct{}{})
+		v.ServeLoop(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clients go on the PEs of the other kernels (the tail of userPEs).
+	for i := 0; i < n; i++ {
+		pe := s.userPEs[len(s.userPEs)-1-i]
+		if _, err := s.SpawnOn(pe, "client", func(v *VPE, p *sim.Proc) {
+			svcReady.Wait(p)
+			sess, err := v.CreateSession(p, "buf", nil)
+			if err != nil {
+				t.Errorf("session: %v", err)
+				return
+			}
+			if _, _, err := sess.Obtain(p, nil); err != nil {
+				t.Errorf("sess obtain: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	return s, &opened
+}
+
+// TestServiceQueryBatchingReducesMessages: with service-query batching on,
+// spanning session creation and session-scoped obtains need strictly fewer
+// inter-kernel wire messages and NoC deliveries, with every session still
+// established.
+func TestServiceQueryBatchingReducesMessages(t *testing.T) {
+	const clients = 9
+	cfg := func(b IKCBatching) Config {
+		return Config{Kernels: 4, UserPEs: 16, IKCBatching: b}
+	}
+	sPlain, openedPlain := runServiceFanout(t, cfg(IKCBatching{}), clients)
+	sBatched, openedBatched := runServiceFanout(t, cfg(IKCBatching{ServiceQuery: true}), clients)
+
+	if *openedPlain != clients || *openedBatched != clients {
+		t.Fatalf("sessions opened: plain %d batched %d, want %d", *openedPlain, *openedBatched, clients)
+	}
+	plain, batched := gatherWire(sPlain), gatherWire(sBatched)
+	if batched.ikcSent >= plain.ikcSent {
+		t.Fatalf("service-query batching did not reduce IKC messages: %d vs %d", batched.ikcSent, plain.ikcSent)
+	}
+	if batched.nocMsgs >= plain.nocMsgs {
+		t.Fatalf("service-query batching did not reduce NoC deliveries: %d vs %d", batched.nocMsgs, plain.nocMsgs)
+	}
+	if batched.vecs == 0 {
+		t.Fatal("no coalesced DTU deliveries recorded")
+	}
+	checkAllInvariants(t, sBatched)
+}
+
+// TestRevokeBatchingAliasEquivalence pins the deprecated alias: a run with
+// Config.RevokeBatching must be indistinguishable — same revocation
+// latency, same wire messages, same executed-event count — from one with
+// IKCBatching.Revoke, so existing configurations keep their semantics.
+func TestRevokeBatchingAliasEquivalence(t *testing.T) {
+	const kids = 12
+	run := func(cfg Config) (sim.Duration, wireStats, uint64) {
+		s, rev := buildFanout(t, cfg, kids)
+		return rev, gatherWire(s), s.Eng.Executed()
+	}
+	revA, wireA, execA := run(Config{Kernels: 4, UserPEs: kids + 7, RevokeBatching: true})
+	revB, wireB, execB := run(Config{Kernels: 4, UserPEs: kids + 7, IKCBatching: IKCBatching{Revoke: true}})
+	if revA != revB || wireA != wireB || execA != execB {
+		t.Fatalf("alias diverged: rev %d vs %d, wire %+v vs %+v, executed %d vs %d",
+			revA, revB, wireA, wireB, execA, execB)
+	}
+}
+
+// TestMaxBatchInlineFlush: a queue reaching MaxBatch flushes without
+// waiting for the window, so a huge FlushWindow cannot stall traffic.
+func TestMaxBatchInlineFlush(t *testing.T) {
+	const kids = 8
+	cfg := Config{
+		Kernels: 2,
+		UserPEs: kids + 2,
+		IKCBatching: IKCBatching{
+			Exchange:    true,
+			MaxBatch:    2,
+			FlushWindow: 50_000_000, // effectively never
+		},
+	}
+	s := runFanoutObtain(t, cfg, kids)
+	var batches uint64
+	for ki := 0; ki < s.Kernels(); ki++ {
+		batches += s.Kernel(ki).Stats().IKCBatches
+	}
+	if batches < kids/2/2 {
+		t.Fatalf("inline flushes did not happen: %d envelopes", batches)
+	}
+	if n := memCapsEverywhere(s); n != kids+1 {
+		t.Fatalf("obtains incomplete: %d mem caps, want %d", n, kids+1)
+	}
+	checkAllInvariants(t, s)
+}
+
+// batchedTrace runs the batched fan-out scenario on the given engine and
+// returns its deterministic fingerprint.
+func batchedTrace(t *testing.T, eng *sim.Engine) [3]uint64 {
+	t.Helper()
+	cfg := Config{
+		Kernels:     4,
+		UserPEs:     19,
+		IKCBatching: IKCBatching{Exchange: true, ServiceQuery: true, Revoke: true},
+		Engine:      eng,
+	}
+	s, rev := buildFanout(t, cfg, 12)
+	var sent uint64
+	for ki := 0; ki < s.Kernels(); ki++ {
+		sent += s.Kernel(ki).Stats().IKCSent
+	}
+	return [3]uint64{uint64(rev), uint64(s.Now()), sent}
+}
+
+// TestBatchedPoolReuseDeterminism extends the TestPoolReuseDeterminism
+// pinning to a batched configuration: the same scenario must be
+// bit-reproducible on a fresh engine and on a pooled engine that already
+// ran a different (also batched) workload.
+func TestBatchedPoolReuseDeterminism(t *testing.T) {
+	want := batchedTrace(t, sim.NewEngine())
+
+	pool := sim.NewPool()
+	dirty := pool.Get()
+	runFanoutObtain(t, Config{Kernels: 2, UserPEs: 8, IKCBatching: IKCBatching{Exchange: true}, Engine: dirty}, 5)
+	pool.Put(dirty)
+
+	got := batchedTrace(t, pool.Get())
+	if got != want {
+		t.Fatalf("batched run diverged on pooled engine: %v vs %v", got, want)
+	}
+}

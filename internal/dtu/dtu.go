@@ -92,7 +92,9 @@ func (k EpKind) String() string {
 }
 
 // Message is a message delivered to a receive endpoint. It occupies a slot
-// until the receiver calls Reply or Ack.
+// until the receiver calls Reply, Ack or Free. Messages that arrived inside
+// a coalesced vector (SendVecTo) share one slot: it is freed when the last
+// sibling is freed.
 type Message struct {
 	SrcPE   int
 	SrcEP   int
@@ -104,10 +106,30 @@ type Message struct {
 	dstDTU *DTU
 	dstEP  int
 	freed  bool
+	vec    *vecMeta // non-nil for messages of a coalesced vector
+}
+
+// vecMeta is the shared bookkeeping of one coalesced vector: the siblings
+// occupy a single receive slot (the vector is one wire message), released
+// when the last of them is freed.
+type vecMeta struct {
+	remaining int
 }
 
 // Handler consumes messages arriving at a receive endpoint.
 type Handler func(*Message)
+
+// VecHandler consumes a whole coalesced vector in one call — one delivery
+// event and (typically) one consumer-thread handoff per batch instead of
+// per message. Endpoints configured with ConfigureRecvVec use it.
+type VecHandler func([]*Message)
+
+// VecItem is one element of a coalesced vectored send.
+type VecItem struct {
+	Payload any
+	Size    int
+	Label   uint64
+}
 
 type endpoint struct {
 	kind EpKind
@@ -119,11 +141,12 @@ type endpoint struct {
 	label        uint64
 
 	// recv
-	slots   int
-	used    int
-	queue   []*Message
-	handler Handler
-	waiters []*sim.Proc
+	slots      int
+	used       int
+	queue      []*Message
+	handler    Handler
+	vecHandler VecHandler
+	waiters    []*sim.Proc
 
 	// mem
 	memPE   int
@@ -132,13 +155,16 @@ type endpoint struct {
 	perm    Perm
 }
 
-// Stats counts per-DTU activity.
+// Stats counts per-DTU activity. Sent/Received count logical messages;
+// VecDeliveries counts coalesced vectors delivered (each carrying several
+// logical messages in one delivery event and one receive slot).
 type Stats struct {
-	Sent      uint64
-	Received  uint64
-	Lost      uint64
-	MemReads  uint64
-	MemWrites uint64
+	Sent          uint64
+	Received      uint64
+	Lost          uint64
+	MemReads      uint64
+	MemWrites     uint64
+	VecDeliveries uint64
 }
 
 // DTU is one data transfer unit, attached to PE `pe`.
@@ -254,6 +280,22 @@ func (d *DTU) ConfigureRecv(by *DTU, ep, slots int, h Handler) error {
 	return nil
 }
 
+// ConfigureRecvVec sets up a receive endpoint whose handler consumes whole
+// coalesced vectors (see SendVecTo): one handler call per arriving vector
+// instead of one per message. Single messages arriving at the endpoint are
+// passed as one-element vectors.
+func (d *DTU) ConfigureRecvVec(by *DTU, ep, slots int, h VecHandler) error {
+	checkEP(ep)
+	if !by.privileged {
+		return ErrNotPrivileged
+	}
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	d.eps[ep] = endpoint{kind: EpRecv, slots: slots, vecHandler: h}
+	return nil
+}
+
 // ConfigureMem sets up a memory endpoint granting perm access to
 // [off, off+size) in PE memPE's local memory.
 func (d *DTU) ConfigureMem(by *DTU, ep, memPE int, off, size uint64, perm Perm) error {
@@ -336,12 +378,94 @@ func (d *DTU) deliver(ep int, msg *Message) {
 	d.stats.Received++
 	msg.dstDTU = d
 	msg.dstEP = ep
+	if e.vecHandler != nil {
+		e.vecHandler([]*Message{msg})
+		return
+	}
 	if e.handler != nil {
 		e.handler(msg)
 		return
 	}
 	e.queue = append(e.queue, msg)
 	if len(e.waiters) > 0 {
+		w := e.waiters[0]
+		e.waiters = e.waiters[1:]
+		w.Wake()
+	}
+}
+
+// SendVecTo transmits items as one coalesced transfer into (dstPE, dstEP),
+// without a send endpoint: the whole vector is one wire message (one NoC
+// event, one receive slot at the destination, one delivery event) that the
+// receiver sees as len(items) logical messages. Only privileged DTUs (the
+// kernels) may use it — their flow control lives above the DTU, in the
+// in-flight message accounting of the inter-kernel protocol, so no send
+// credits are consumed. This is the batched-delivery primitive the unified
+// IKC transport rides: it cuts the per-message NoC events and consumer
+// handoffs that dominate wide fan-outs.
+func (d *DTU) SendVecTo(dstPE, dstEP int, items []VecItem) error {
+	if !d.privileged {
+		return ErrNotPrivileged
+	}
+	checkEP(dstEP)
+	if len(items) == 0 {
+		return ErrBadEndpoint
+	}
+	total := headerBytes
+	msgs := make([]*Message, len(items))
+	for i, it := range items {
+		total += it.Size
+		msgs[i] = &Message{
+			SrcPE:   d.pe,
+			SrcEP:   -1,
+			ReplyEP: -1,
+			Label:   it.Label,
+			Payload: it.Payload,
+			Size:    it.Size,
+		}
+	}
+	d.stats.Sent += uint64(len(items))
+	d.fabric.net.Send(d.pe, dstPE, total, func() {
+		d.fabric.dtus[dstPE].deliverVec(dstEP, msgs)
+	})
+	return nil
+}
+
+// deliverVec places a coalesced vector into receive endpoint ep. The vector
+// occupies a single slot (it is one wire message); if none is free the
+// whole vector is lost. Vec-handler endpoints get one call with all
+// messages; plain handlers are invoked per message but still within the
+// single delivery event; queue endpoints enqueue everything and wake at
+// most one waiter per delivered message.
+func (d *DTU) deliverVec(ep int, msgs []*Message) {
+	e := &d.eps[ep]
+	if e.kind != EpRecv || e.used >= e.slots {
+		d.stats.Lost++
+		d.fabric.net.CountLost()
+		return
+	}
+	e.used++
+	d.stats.Received += uint64(len(msgs))
+	d.stats.VecDeliveries++
+	meta := &vecMeta{remaining: len(msgs)}
+	for _, m := range msgs {
+		m.dstDTU = d
+		m.dstEP = ep
+		m.vec = meta
+	}
+	if e.vecHandler != nil {
+		e.vecHandler(msgs)
+		return
+	}
+	if e.handler != nil {
+		for _, m := range msgs {
+			e.handler(m)
+		}
+		return
+	}
+	e.queue = append(e.queue, msgs...)
+	wake := min(len(msgs), len(e.waiters))
+	for i := 0; i < wake; i++ {
 		w := e.waiters[0]
 		e.waiters = e.waiters[1:]
 		w.Wake()
@@ -378,6 +502,25 @@ func (d *DTU) Wait(p *sim.Proc, ep int) *Message {
 	return m
 }
 
+// WaitVec blocks the proc until at least one message is queued at receive
+// endpoint ep and drains the whole queue — one park/wake cycle (one
+// goroutine handoff) for however many messages have accumulated, the
+// consumer-side half of coalesced delivery.
+func (d *DTU) WaitVec(p *sim.Proc, ep int) []*Message {
+	checkEP(ep)
+	e := &d.eps[ep]
+	if e.kind != EpRecv {
+		panic("dtu: WaitVec on non-recv endpoint")
+	}
+	for len(e.queue) == 0 {
+		e.waiters = append(e.waiters, p)
+		p.Park()
+	}
+	out := e.queue
+	e.queue = nil
+	return out
+}
+
 // Reply frees msg's slot and sends a reply back to the sender's reply
 // endpoint, returning the sender's credit along with it.
 func (d *DTU) Reply(msg *Message, payload any, size int) {
@@ -385,6 +528,13 @@ func (d *DTU) Reply(msg *Message, payload any, size int) {
 		panic("dtu: Reply on foreign message")
 	}
 	d.free(msg)
+	if msg.SrcEP < 0 && msg.ReplyEP < 0 {
+		// EP-less sender (SendVecTo) and nowhere to deliver the payload:
+		// there is no credit to return, so sending anything would be pure
+		// wire noise.
+		return
+	}
+	restore := msg.vec == nil || msg.vec.remaining == 0
 	reply := &Message{
 		SrcPE:   d.pe,
 		SrcEP:   msg.dstEP,
@@ -395,7 +545,9 @@ func (d *DTU) Reply(msg *Message, payload any, size int) {
 	srcPE, srcEP, replyEP := msg.SrcPE, msg.SrcEP, msg.ReplyEP
 	d.fabric.net.Send(d.pe, srcPE, size+headerBytes, func() {
 		src := d.fabric.dtus[srcPE]
-		src.restoreCredit(srcEP)
+		if restore {
+			src.restoreCredit(srcEP)
+		}
 		if replyEP >= 0 {
 			src.deliver(replyEP, reply)
 		}
@@ -403,16 +555,35 @@ func (d *DTU) Reply(msg *Message, payload any, size int) {
 }
 
 // Ack frees msg's slot without a payload reply; the sender's credit is
-// returned by a (zero-byte) credit message.
+// returned by a (zero-byte) credit message. Messages from an EP-less
+// coalesced vector (SendVecTo) consumed no send credit, so acking them
+// sends nothing — the ack degenerates to Free.
 func (d *DTU) Ack(msg *Message) {
 	if msg.dstDTU != d {
 		panic("dtu: Ack on foreign message")
 	}
 	d.free(msg)
+	if msg.SrcEP < 0 {
+		return
+	}
+	restore := msg.vec == nil || msg.vec.remaining == 0
 	srcPE, srcEP := msg.SrcPE, msg.SrcEP
 	d.fabric.net.Send(d.pe, srcPE, headerBytes, func() {
-		d.fabric.dtus[srcPE].restoreCredit(srcEP)
+		if restore {
+			d.fabric.dtus[srcPE].restoreCredit(srcEP)
+		}
 	})
+}
+
+// Free releases msg's slot without any message back to the sender. It is
+// for privileged consumers (the kernels) whose flow control lives above the
+// DTU: returning a credit for an EP-less SendVecTo transfer would be
+// meaningless traffic.
+func (d *DTU) Free(msg *Message) {
+	if msg.dstDTU != d {
+		panic("dtu: Free on foreign message")
+	}
+	d.free(msg)
 }
 
 func (d *DTU) free(msg *Message) {
@@ -420,6 +591,12 @@ func (d *DTU) free(msg *Message) {
 		panic("dtu: message freed twice")
 	}
 	msg.freed = true
+	if msg.vec != nil {
+		msg.vec.remaining--
+		if msg.vec.remaining > 0 {
+			return // siblings still hold the shared slot
+		}
+	}
 	e := &d.eps[msg.dstEP]
 	if e.used > 0 {
 		e.used--
@@ -427,6 +604,9 @@ func (d *DTU) free(msg *Message) {
 }
 
 func (d *DTU) restoreCredit(ep int) {
+	if ep < 0 || ep >= NumEndpoints {
+		return // EP-less sender (SendVecTo): no credit to restore
+	}
 	e := &d.eps[ep]
 	if e.kind == EpSend && e.credits < e.maxCredits {
 		e.credits++

@@ -263,3 +263,153 @@ func TestNoLossWithinCredits(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- coalesced (vectored) delivery ---------------------------------------
+
+func vecOf(n int) []VecItem {
+	items := make([]VecItem, n)
+	for i := range items {
+		items[i] = VecItem{Payload: i, Size: 16}
+	}
+	return items
+}
+
+// TestSendVecToOneDeliveryEvent: a coalesced vector reaches a vec-handler
+// endpoint as one NoC delivery event with one handler call carrying all
+// messages, and occupies a single receive slot.
+func TestSendVecToOneDeliveryEvent(t *testing.T) {
+	e, f := newFabric(t, 4)
+	a, b := f.DTU(0), f.DTU(1)
+	var batches int
+	var got []*Message
+	if err := b.ConfigureRecvVec(b, 2, 4, func(msgs []*Message) {
+		batches++
+		got = msgs
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Executed()
+	if err := a.SendVecTo(1, 2, vecOf(5)); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if ran := e.Executed() - before; ran != 1 {
+		t.Fatalf("vector delivery took %d events, want 1", ran)
+	}
+	if batches != 1 || len(got) != 5 {
+		t.Fatalf("handler calls = %d with %d messages, want 1 call with 5", batches, len(got))
+	}
+	for i, m := range got {
+		if m.Payload.(int) != i || m.SrcPE != 0 {
+			t.Fatalf("message %d corrupted: %+v", i, m)
+		}
+	}
+	if b.Stats().VecDeliveries != 1 || b.Stats().Received != 5 {
+		t.Fatalf("stats: %+v", b.Stats())
+	}
+	// The whole vector holds one slot; freeing all siblings releases it.
+	for i, m := range got {
+		if i < len(got)-1 {
+			b.Free(m)
+		}
+	}
+	if err := a.SendVecTo(1, 2, vecOf(3)); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if batches != 2 {
+		t.Fatal("second vector not delivered while slots were free")
+	}
+}
+
+// TestSendVecSharedSlot: a 4-slot endpoint accepts 4 whole vectors (each is
+// one wire message) and drops the 5th.
+func TestSendVecSharedSlot(t *testing.T) {
+	e, f := newFabric(t, 4)
+	a, b := f.DTU(0), f.DTU(1)
+	delivered := 0
+	b.ConfigureRecvVec(b, 2, 4, func(msgs []*Message) { delivered += len(msgs) })
+	for i := 0; i < 5; i++ {
+		a.SendVecTo(1, 2, vecOf(8))
+	}
+	e.Run()
+	if delivered != 4*8 {
+		t.Fatalf("delivered %d messages, want %d", delivered, 4*8)
+	}
+	if b.Stats().Lost != 1 {
+		t.Fatalf("lost = %d, want 1 (one whole vector)", b.Stats().Lost)
+	}
+}
+
+// TestWaitVecSingleWake: a consumer draining with WaitVec is woken once per
+// vector, not once per message — one goroutine handoff per batch.
+func TestWaitVecSingleWake(t *testing.T) {
+	e, f := newFabric(t, 4)
+	a, b := f.DTU(0), f.DTU(1)
+	b.ConfigureRecv(b, 2, 8, nil) // queue endpoint, no handler
+	wakes := 0
+	var sizes []int
+	e.Spawn("drain", func(p *sim.Proc) {
+		msgs := b.WaitVec(p, 2)
+		wakes++
+		sizes = append(sizes, len(msgs))
+		for _, m := range msgs {
+			b.Free(m)
+		}
+	})
+	a.SendVecTo(1, 2, vecOf(6))
+	e.Run()
+	if wakes != 1 || len(sizes) != 1 || sizes[0] != 6 {
+		t.Fatalf("wakes=%d sizes=%v, want one wake draining 6", wakes, sizes)
+	}
+}
+
+// TestSendVecToRequiresPrivilege: user DTUs cannot inject EP-less vectors.
+func TestSendVecToRequiresPrivilege(t *testing.T) {
+	_, f := newFabric(t, 4)
+	a, b := f.DTU(0), f.DTU(1)
+	b.ConfigureRecvVec(b, 2, 4, func([]*Message) {})
+	a.Downgrade()
+	if err := a.SendVecTo(1, 2, vecOf(2)); err != ErrNotPrivileged {
+		t.Fatalf("err = %v, want ErrNotPrivileged", err)
+	}
+	if err := f.DTU(2).SendVecTo(1, 2, nil); err == nil {
+		t.Fatal("empty vector accepted")
+	}
+}
+
+// TestVecQueueDeliveryAndSlotRelease: a vector delivered to a queue
+// endpoint is fetchable message by message, but occupies its shared slot
+// until the last sibling is freed.
+func TestVecQueueDeliveryAndSlotRelease(t *testing.T) {
+	e, f := newFabric(t, 4)
+	a, b := f.DTU(0), f.DTU(1)
+	b.ConfigureRecv(b, 2, 1, nil) // a single slot
+	a.SendVecTo(1, 2, vecOf(4))
+	e.Run()
+	var msgs []*Message
+	for {
+		m := b.Fetch(2)
+		if m == nil {
+			break
+		}
+		msgs = append(msgs, m)
+	}
+	if len(msgs) != 4 {
+		t.Fatalf("fetched %d messages, want 4", len(msgs))
+	}
+	// The slot is still held until the last sibling is freed.
+	a.SendVecTo(1, 2, vecOf(1))
+	e.Run()
+	if b.Stats().Lost != 1 {
+		t.Fatalf("lost = %d, want 1 while the slot is shared", b.Stats().Lost)
+	}
+	for _, m := range msgs {
+		b.Free(m)
+	}
+	a.SendVecTo(1, 2, vecOf(1))
+	e.Run()
+	if b.Stats().Lost != 1 {
+		t.Fatalf("lost = %d after slot release, want still 1", b.Stats().Lost)
+	}
+}

@@ -177,9 +177,7 @@ func Run(cfg Config) (*Result, error) {
 	perInst := cfg.Trace.Footprint(extent)
 	maxPerSvc := 1
 	for _, insts := range pl.instOfSvc {
-		if len(insts) > maxPerSvc {
-			maxPerSvc = len(insts)
-		}
+		maxPerSvc = max(maxPerSvc, len(insts))
 	}
 	imageBytes := perInst*uint64(maxPerSvc) + 8<<20
 

@@ -68,6 +68,10 @@ type (
 	Perm = dtu.Perm
 	// CostModel holds the calibrated cycle costs.
 	CostModel = core.CostModel
+	// IKCBatching configures the unified inter-kernel transport: which
+	// operation families batch their requests into coalesced
+	// per-destination envelopes, and when the queues flush.
+	IKCBatching = core.IKCBatching
 	// Errno is the system's error code space.
 	Errno = core.Errno
 	// Time is a point in simulated time (cycles at 2 GHz).
