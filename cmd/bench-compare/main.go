@@ -4,6 +4,7 @@
 // Usage:
 //
 //	bench-compare [-allow-new] BASELINE.json FRESH.json
+//	bench-compare -delta OLD.json NEW.json
 //
 // All metrics in a report are simulated and deterministic, so any
 // difference between a fresh run and the committed baseline is a semantic
@@ -12,10 +13,19 @@
 // this against BENCH_quick.json to enforce mechanically what used to be a
 // convention ("regressions in cycles are semantic changes").
 //
-// Exit status: 0 when the reports agree, 1 on drift (changed metrics,
-// baseline rows missing from the fresh run, or — unless -allow-new — rows
-// the baseline does not know), 2 on usage or read errors. Wallclock and
-// worker-pool fields are ignored: only simulated quantities are compared.
+// The two arguments are arbitrary report files — nothing ties the first to
+// the committed baseline. In the default mode any difference is drift and
+// fails; with -delta the tool instead *describes* the differences between
+// two runs (cycle deltas with percentages, message-count changes, rows
+// unique to either side) and always exits 0 on readable input. That is the
+// review mode: diff a PR's BENCH_<tag>.json against its predecessor, or an
+// ablation rerun against the recorded one, and paste the deltas.
+//
+// Exit status: 0 when the reports agree (or -delta on readable input), 1
+// on drift (changed metrics, baseline rows missing from the fresh run, or
+// — unless -allow-new — rows the baseline does not know), 2 on usage or
+// read errors. Wallclock and worker-pool fields are ignored: only
+// simulated quantities are compared.
 package main
 
 import (
@@ -69,9 +79,10 @@ func main() {
 
 func realMain() int {
 	allowNew := flag.Bool("allow-new", false, "tolerate experiments present only in the fresh report")
+	delta := flag.Bool("delta", false, "describe metric deltas between two arbitrary reports instead of failing on drift")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: bench-compare [-allow-new] BASELINE.json FRESH.json")
+		fmt.Fprintln(os.Stderr, "usage: bench-compare [-allow-new|-delta] BASELINE.json FRESH.json")
 		return 2
 	}
 	base, err := load(flag.Arg(0))
@@ -87,6 +98,11 @@ func realMain() int {
 
 	baseBy, baseOrder := byKey(base)
 	freshBy, freshOrder := byKey(fresh)
+
+	if *delta {
+		printDeltas(baseBy, baseOrder, freshBy, freshOrder)
+		return 0
+	}
 
 	drift := 0
 	report := func(format string, args ...any) {
@@ -126,4 +142,58 @@ func realMain() int {
 	}
 	fmt.Printf("bench-compare: %d triples identical between %s and %s\n", len(baseOrder), flag.Arg(0), flag.Arg(1))
 	return 0
+}
+
+// printDeltas is the -delta mode: a human-readable diff of two arbitrary
+// reports, for review rather than enforcement. Matching rows with changed
+// metrics show cycle deltas (with percentage) and message-count changes;
+// identical rows are only summarized; rows unique to either report are
+// listed.
+func printDeltas(baseBy map[key][]bench.Metrics, baseOrder []key, freshBy map[key][]bench.Metrics, freshOrder []key) {
+	same, changed := 0, 0
+	for _, k := range baseOrder {
+		want := baseBy[k]
+		got, ok := freshBy[k]
+		if !ok {
+			fmt.Printf("only-old %s %+v\n", k.Experiment, k.Config)
+			continue
+		}
+		n := min(len(want), len(got))
+		if len(want) != len(got) {
+			fmt.Printf("count    %s %+v: %d runs vs %d\n", k.Experiment, k.Config, len(want), len(got))
+		}
+		for i := 0; i < n; i++ {
+			if got[i] == want[i] {
+				same++
+				continue
+			}
+			changed++
+			line := fmt.Sprintf("delta    %s %+v:", k.Experiment, k.Config)
+			if got[i].Cycles != want[i].Cycles {
+				line += fmt.Sprintf(" cycles %d -> %d", want[i].Cycles, got[i].Cycles)
+				if want[i].Cycles != 0 {
+					pct := 100 * (float64(got[i].Cycles) - float64(want[i].Cycles)) / float64(want[i].Cycles)
+					line += fmt.Sprintf(" (%+.2f%%)", pct)
+				}
+			}
+			if got[i].ReqMsgs != want[i].ReqMsgs || got[i].RepMsgs != want[i].RepMsgs {
+				line += fmt.Sprintf(" msgs %d+%d -> %d+%d (req+rep)",
+					want[i].ReqMsgs, want[i].RepMsgs, got[i].ReqMsgs, got[i].RepMsgs)
+			}
+			if got[i].Efficiency != want[i].Efficiency {
+				line += fmt.Sprintf(" eff %.4f -> %.4f", want[i].Efficiency, got[i].Efficiency)
+			}
+			if got[i].CapOps != want[i].CapOps {
+				line += fmt.Sprintf(" capops %d -> %d", want[i].CapOps, got[i].CapOps)
+			}
+			fmt.Println(line)
+		}
+	}
+	for _, k := range freshOrder {
+		if _, ok := baseBy[k]; !ok {
+			fmt.Printf("only-new %s %+v\n", k.Experiment, k.Config)
+		}
+	}
+	fmt.Printf("bench-compare: %d identical, %d changed between %s and %s\n",
+		same, changed, flag.Arg(0), flag.Arg(1))
 }

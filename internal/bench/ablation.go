@@ -160,20 +160,30 @@ func AblationBatching(o Options, maxKids, extra int) AblationResult {
 //
 // The unified transport (core/transport.go) extends the paper's batching
 // proposal beyond revocation to the other two IKC-heavy operations:
-// capability exchange (§4.3.2) and service queries (§4.3.3). These
-// experiments measure both on spanning fan-outs: N clients spread over
-// `extra` kernels all obtaining from one owner (exchange), or all opening a
-// session plus performing one session-scoped obtain against one service
-// (svcquery). Reported are the fan-out makespan and the inter-kernel wire
-// messages (a coalesced envelope counts once).
+// capability exchange (§4.3.2) and service queries (§4.3.3), and since the
+// transport went symmetric it batches both directions: requests into
+// per-(destination, kind) envelopes and replies into per-(destination,
+// class) envelopes. These experiments measure both on spanning fan-outs: N
+// clients spread over `extra` kernels all obtaining from one owner
+// (exchange), or all opening a session plus performing one session-scoped
+// obtain against one service (svcquery). Reported are the fan-out makespan
+// and the inter-kernel wire messages split by direction (a coalesced
+// envelope counts once), so the reply-direction saving is visible on its
+// own.
 
 // IKCRow compares plain and batched transport at one fan-out breadth.
+// PlainMsgs/BatchedMsgs are request+reply totals; the *ReqMsgs/*RepMsgs
+// fields split them by direction.
 type IKCRow struct {
-	Clients       int
-	PlainCycles   sim.Duration
-	BatchedCycles sim.Duration
-	PlainMsgs     uint64
-	BatchedMsgs   uint64
+	Clients        int
+	PlainCycles    sim.Duration
+	BatchedCycles  sim.Duration
+	PlainMsgs      uint64
+	BatchedMsgs    uint64
+	PlainReqMsgs   uint64
+	BatchedReqMsgs uint64
+	PlainRepMsgs   uint64
+	BatchedRepMsgs uint64
 }
 
 // AblationIKCResult holds the transport ablation over fan-out breadths.
@@ -183,13 +193,14 @@ type AblationIKCResult struct {
 	SvcQuery     []IKCRow
 }
 
-// ikcWireMsgs sums the inter-kernel wire messages of a run.
-func ikcWireMsgs(sys *core.System) uint64 {
-	var msgs uint64
+// ikcWireMsgs sums the inter-kernel wire messages of a run by direction.
+func ikcWireMsgs(sys *core.System) (req, rep uint64) {
 	for ki := 0; ki < sys.Kernels(); ki++ {
-		msgs += sys.Kernel(ki).Stats().IKCSent
+		st := sys.Kernel(ki).Stats()
+		req += st.IKCSent
+		rep += st.IKCRepSent
 	}
-	return msgs
+	return req, rep
 }
 
 // ablationIKCSystem builds the fan-out machine: the owner/service group
@@ -223,8 +234,9 @@ func ablationIKCSystem(eng *sim.Engine, n, extra int, pol core.IKCBatching) (*co
 }
 
 // ablationExchange measures n spanning obtains of one root capability,
-// returning the fan-out makespan and the inter-kernel wire messages.
-func ablationExchange(eng *sim.Engine, n, extra int, batched bool) (sim.Duration, uint64) {
+// returning the fan-out makespan and the inter-kernel wire messages by
+// direction.
+func ablationExchange(eng *sim.Engine, n, extra int, batched bool) (sim.Duration, uint64, uint64) {
 	sys, pes := ablationIKCSystem(eng, n, extra, core.IKCBatching{Exchange: batched})
 	defer sys.Close()
 	ready := sim.NewFuture[cap.Selector](sys.Eng)
@@ -257,13 +269,14 @@ func ablationExchange(eng *sim.Engine, n, extra int, batched bool) (sim.Duration
 		}
 	}
 	sys.Run()
-	return end - t0, ikcWireMsgs(sys)
+	req, rep := ikcWireMsgs(sys)
+	return end - t0, req, rep
 }
 
 // ablationSvcQuery measures n clients each opening a session to one
 // service and performing one session-scoped obtain, returning the fan-out
-// makespan and the inter-kernel wire messages.
-func ablationSvcQuery(eng *sim.Engine, n, extra int, batched bool) (sim.Duration, uint64) {
+// makespan and the inter-kernel wire messages by direction.
+func ablationSvcQuery(eng *sim.Engine, n, extra int, batched bool) (sim.Duration, uint64, uint64) {
 	sys, pes := ablationIKCSystem(eng, n, extra, core.IKCBatching{ServiceQuery: batched})
 	defer sys.Close()
 	svcReady := sim.NewFuture[struct{}](sys.Eng)
@@ -311,7 +324,8 @@ func ablationSvcQuery(eng *sim.Engine, n, extra int, batched bool) (sim.Duration
 		}
 	}
 	sys.Run()
-	return end - t0, ikcWireMsgs(sys)
+	req, rep := ikcWireMsgs(sys)
+	return end - t0, req, rep
 }
 
 // AblationIKC measures the unified-transport batching of capability
@@ -331,12 +345,12 @@ func AblationIKC(o Options, maxClients, extra int) AblationIKCResult {
 	}
 	kind := []struct {
 		name string
-		run  func(eng *sim.Engine, n int, batched bool) (sim.Duration, uint64)
+		run  func(eng *sim.Engine, n int, batched bool) (sim.Duration, uint64, uint64)
 	}{
-		{"exchange", func(eng *sim.Engine, n int, batched bool) (sim.Duration, uint64) {
+		{"exchange", func(eng *sim.Engine, n int, batched bool) (sim.Duration, uint64, uint64) {
 			return ablationExchange(eng, n, extra, batched)
 		}},
-		{"svcquery", func(eng *sim.Engine, n int, batched bool) (sim.Duration, uint64) {
+		{"svcquery", func(eng *sim.Engine, n int, batched bool) (sim.Duration, uint64, uint64) {
 			return ablationSvcQuery(eng, n, extra, batched)
 		}},
 	}
@@ -346,19 +360,17 @@ func AblationIKC(o Options, maxClients, extra int) AblationIKCResult {
 	}{{"plain", false}, {"batched", true}}
 
 	var tasks []Task
-	msgs := make([]uint64, len(kind)*len(breadths)*len(variants))
 	idx := func(k, b, v int) int { return (k*len(breadths)+b)*len(variants) + v }
-	for ki, kd := range kind {
-		for bi, n := range breadths {
-			for vi, va := range variants {
-				ki, bi, vi, n, kd, va := ki, bi, vi, n, kd, va
+	for _, kd := range kind {
+		for _, n := range breadths {
+			for _, va := range variants {
+				n, kd, va := n, kd, va
 				tasks = append(tasks, Task{
 					Experiment: "ablation/" + kd.name + "-" + va.suffix,
 					Config:     ExpConfig{Kernels: extra + 1, Instances: n},
 					Run: func(eng *sim.Engine) (Metrics, error) {
-						c, m := kd.run(eng, n, va.batched)
-						msgs[idx(ki, bi, vi)] = m
-						return Metrics{Cycles: uint64(c)}, nil
+						c, req, rep := kd.run(eng, n, va.batched)
+						return Metrics{Cycles: uint64(c), ReqMsgs: req, RepMsgs: rep}, nil
 					},
 				})
 			}
@@ -370,13 +382,18 @@ func AblationIKC(o Options, maxClients, extra int) AblationIKCResult {
 	for ki := range kind {
 		rows := make([]IKCRow, 0, len(breadths))
 		for bi, n := range breadths {
-			base := idx(ki, bi, 0)
+			plain := rs[idx(ki, bi, 0)].Metrics
+			batched := rs[idx(ki, bi, 1)].Metrics
 			rows = append(rows, IKCRow{
-				Clients:       n,
-				PlainCycles:   sim.Duration(rs[base].Metrics.Cycles),
-				BatchedCycles: sim.Duration(rs[base+1].Metrics.Cycles),
-				PlainMsgs:     msgs[base],
-				BatchedMsgs:   msgs[base+1],
+				Clients:        n,
+				PlainCycles:    sim.Duration(plain.Cycles),
+				BatchedCycles:  sim.Duration(batched.Cycles),
+				PlainMsgs:      plain.ReqMsgs + plain.RepMsgs,
+				BatchedMsgs:    batched.ReqMsgs + batched.RepMsgs,
+				PlainReqMsgs:   plain.ReqMsgs,
+				BatchedReqMsgs: batched.ReqMsgs,
+				PlainRepMsgs:   plain.RepMsgs,
+				BatchedRepMsgs: batched.RepMsgs,
 			})
 		}
 		if ki == 0 {
@@ -389,18 +406,21 @@ func AblationIKC(o Options, maxClients, extra int) AblationIKCResult {
 	return r
 }
 
-// Print writes the transport ablation tables.
+// Print writes the transport ablation tables, splitting wire messages into
+// request and reply direction (total = req + rep).
 func (r AblationIKCResult) Print(w io.Writer) {
 	section := func(name string, rows []IKCRow) {
 		fmt.Fprintf(w, "Ablation: %s batching (fan-out over 1+%d kernels)\n", name, r.ExtraKernels)
-		fmt.Fprintln(w, "clients  plain(µs)  batched(µs)  speedup   plain-msgs  batched-msgs")
+		fmt.Fprintln(w, "clients  plain(µs)  batched(µs)  speedup   plain req+rep      batched req+rep    msg-cut")
 		for _, row := range rows {
-			fmt.Fprintf(w, "%6d   %9.2f  %11.2f  %6.2fx   %10d  %12d\n",
+			fmt.Fprintf(w, "%6d   %9.2f  %11.2f  %6.2fx   %6d+%-6d      %6d+%-6d     %5.2fx\n",
 				row.Clients,
 				float64(row.PlainCycles)/core.CyclesPerMicrosecond,
 				float64(row.BatchedCycles)/core.CyclesPerMicrosecond,
 				float64(row.PlainCycles)/float64(row.BatchedCycles),
-				row.PlainMsgs, row.BatchedMsgs)
+				row.PlainReqMsgs, row.PlainRepMsgs,
+				row.BatchedReqMsgs, row.BatchedRepMsgs,
+				float64(row.PlainMsgs)/float64(row.BatchedMsgs))
 		}
 	}
 	section("capability exchange", r.Exchange)

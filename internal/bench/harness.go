@@ -38,6 +38,12 @@ type Metrics struct {
 	Cycles     uint64  `json:"cycles"`
 	Efficiency float64 `json:"efficiency"`
 	CapOps     uint64  `json:"capops"`
+	// ReqMsgs/RepMsgs split the inter-kernel wire messages of a run by
+	// direction (an envelope counts once). Only the transport ablation
+	// fills them; they are omitted elsewhere, so adding them kept every
+	// existing report comparable (schema unchanged: optional additions).
+	ReqMsgs uint64 `json:"reqmsgs,omitempty"`
+	RepMsgs uint64 `json:"repmsgs,omitempty"`
 }
 
 // Task is one independent experiment: Run builds its own simulation on the

@@ -247,3 +247,35 @@ func TestBatchedParallelDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestReplyEnvelopeParallelDeterminism mirrors
+// TestBatchedParallelDeterminism for the reply direction of the symmetric
+// transport: the per-direction wire-message splits must be bit-identical
+// across worker-pool sizes, and the batched reply direction must coalesce
+// (strictly fewer reply messages than the plain transport at every
+// breadth).
+func TestReplyEnvelopeParallelDeterminism(t *testing.T) {
+	sweep := func(parallel int) AblationIKCResult {
+		o := Quick()
+		o.Parallel = parallel
+		return AblationIKC(o, 32, 3)
+	}
+	serial, parallel := sweep(1), sweep(4)
+	for name, pair := range map[string][2][]IKCRow{
+		"exchange": {serial.Exchange, parallel.Exchange},
+		"svcquery": {serial.SvcQuery, parallel.SvcQuery},
+	} {
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Errorf("%s row %d differs:\n  serial:   %+v\n  parallel: %+v",
+					name, i, pair[0][i], pair[1][i])
+			}
+		}
+		for _, row := range pair[0] {
+			if row.BatchedRepMsgs >= row.PlainRepMsgs {
+				t.Errorf("%s: no reply coalescing at %d clients: %d vs %d",
+					name, row.Clients, row.BatchedRepMsgs, row.PlainRepMsgs)
+			}
+		}
+	}
+}

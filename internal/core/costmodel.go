@@ -143,4 +143,7 @@ const (
 	// envelope: a request standalone costs ikcMsgBytes plus the DTU header,
 	// batched it shares the envelope's header and drops per-message framing.
 	ikcBatchedReqBytes = 72
+	// ikcBatchedRepBytes is the per-reply payload inside a coalesced reply
+	// envelope, shrunk from ikcRepBytes the same way.
+	ikcBatchedRepBytes = 48
 )

@@ -138,35 +138,30 @@ func (k *Kernel) obtainSpanning(p *sim.Proc, v *VPE, owner *Kernel, srcVPE int, 
 
 // handleObtainReq runs at the owner kernel: consent, link the child key,
 // return the object.
-func (k *Kernel) handleObtainReq(p *sim.Proc, req *ikcRequest) {
+func (k *Kernel) handleObtainReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 	src := k.lookupSel(p, req.VPE, req.Sel)
 	if src == nil {
-		k.ikReply(p, req, &ikcReply{Err: ErrNoSuchCap})
-		return
+		return &ikcReply{Err: ErrNoSuchCap}
 	}
 	if src.Marked {
-		k.ikReply(p, req, &ikcReply{Err: ErrInRevocation})
-		return
+		return &ikcReply{Err: ErrInRevocation}
 	}
 	srcV := k.vpeOf(req.VPE)
 	if srcV == nil || srcV.exited {
-		k.ikReply(p, req, &ikcReply{Err: ErrVPEGone})
-		return
+		return &ikcReply{Err: ErrVPEGone}
 	}
 	if !k.askVPE(p, srcV, ExchangeQuery{Obtain: true, PeerVPE: req.ChildVPE, Sel: req.Sel}) {
-		k.ikReply(p, req, &ikcReply{Err: ErrDenied})
-		return
+		return &ikcReply{Err: ErrDenied}
 	}
 	// Re-check: a revocation may have started during the consent round trip.
 	if src != k.store.LookupSel(req.VPE, req.Sel) || src.Marked {
-		k.ikReply(p, req, &ikcReply{Err: ErrInRevocation})
-		return
+		return &ikcReply{Err: ErrInRevocation}
 	}
 	obj := deriveObject(src.Object)
 	childKey := ddl.NewKey(req.ChildPE, req.ChildVPE, obj.ObjType(), req.ChildObj)
 	src.AddChild(childKey)
 	k.exec(p, k.sys.Cost.CapLink+k.sys.Cost.IKCMarshal)
-	k.ikReply(p, req, &ikcReply{Key: src.Key, Object: obj, Perm: src.Perm})
+	return &ikcReply{Key: src.Key, Object: obj, Perm: src.Perm}
 }
 
 // handleUnlinkChild removes an orphaned child link (notification; no
@@ -285,16 +280,17 @@ func (k *Kernel) delegateSpanning(p *sim.Proc, v *VPE, c *cap.Capability, dst *K
 }
 
 // handleDelegateReq runs at the receiver's kernel: consent, prepare the
-// child capability without inserting it, and return its key.
-func (k *Kernel) handleDelegateReq(p *sim.Proc, req *ikcRequest) {
+// child capability without inserting it, and return its key. The reply may
+// ride a reply envelope; the ack that depends on it is only sent by the
+// delegator after that envelope is demuxed, so the pendingDelegations
+// entry is always in place before the ack can arrive.
+func (k *Kernel) handleDelegateReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 	dstV := k.vpeOf(req.VPE)
 	if dstV == nil || dstV.exited {
-		k.ikReply(p, req, &ikcReply{Err: ErrVPEGone})
-		return
+		return &ikcReply{Err: ErrVPEGone}
 	}
 	if !k.askVPE(p, dstV, ExchangeQuery{Obtain: false, PeerVPE: req.VPE}) {
-		k.ikReply(p, req, &ikcReply{Err: ErrDenied})
-		return
+		return &ikcReply{Err: ErrDenied}
 	}
 	childKey := k.mintKey(dstV.PE, dstV.ID, req.Object.ObjType())
 	child := &cap.Capability{
@@ -306,30 +302,27 @@ func (k *Kernel) handleDelegateReq(p *sim.Proc, req *ikcRequest) {
 	}
 	k.exec(p, k.sys.Cost.CapCreate)
 	k.pendingDelegations[childKey] = child
-	k.ikReply(p, req, &ikcReply{Key: childKey})
+	return &ikcReply{Key: childKey}
 }
 
 // handleDelegateAck finishes the handshake at the receiver's kernel.
-func (k *Kernel) handleDelegateAck(p *sim.Proc, req *ikcRequest) {
+func (k *Kernel) handleDelegateAck(p *sim.Proc, req *ikcRequest) *ikcReply {
 	child := k.pendingDelegations[req.Child]
 	delete(k.pendingDelegations, req.Child)
 	if child == nil {
-		k.ikReply(p, req, &ikcReply{Err: ErrNoSuchCap})
-		return
+		return &ikcReply{Err: ErrNoSuchCap}
 	}
 	if !req.Ok {
 		// Delegator aborted (parent revoked meanwhile): discard.
-		k.ikReply(p, req, &ikcReply{})
-		return
+		return &ikcReply{}
 	}
 	dstV := k.vpeOf(child.Owner)
 	if dstV == nil || dstV.exited {
 		// Orphaned on the receiver side: report back for unlinking.
-		k.ikReply(p, req, &ikcReply{Err: ErrVPEGone})
-		return
+		return &ikcReply{Err: ErrVPEGone}
 	}
 	child.Sel = k.store.AllocSel(child.Owner)
 	k.insertCap(p, child)
 	k.stats.Delegates++
-	k.ikReply(p, req, &ikcReply{})
+	return &ikcReply{}
 }

@@ -107,6 +107,10 @@ func (k *Kernel) recvRequest(req *ikcRequest) {
 		k.sys.Eng.Schedule(0, func() { src.inflightTo(k.id).Release() })
 		k.exec(p, k.sys.Cost.IKCDispatch)
 		k.dispatchRequest(p, req)
+		// Dispatch barrier of the reply sink (see flushBatchReplies): a
+		// reply produced by this dispatch leaves now instead of waiting on
+		// an idle window timer. No-op for unbatched families.
+		k.xport.flushBatchReplies(req.From, req.Kind)
 		k.releaseCPU()
 	}
 	if req.Kind == ikcRevoke || req.Kind == ikcRevokeBatch {
@@ -121,11 +125,14 @@ func (k *Kernel) recvRequest(req *ikcRequest) {
 // vector). The envelope counts as one received wire message, occupies one
 // in-flight slot of its sender and is picked up by a single kernel thread,
 // which frees the shared receive slot, returns the in-flight credit and
-// dispatches the carried requests in order. Handlers reply to each request
-// individually (replies are not coalesced), and they may block at their
-// usual preemption points — the batch thread simply resumes with the next
+// dispatches the carried requests in order. Handlers return their replies
+// to the transport's reply sink, and they may block at their usual
+// preemption points — the batch thread simply resumes with the next
 // request afterwards, serializing the batch the way the receiving kernel's
-// single CPU would anyway.
+// single CPU would anyway. When the last request has been dispatched the
+// thread flushes the reply queue feeding the envelope's sender (the
+// sink's dispatch barrier), so the batch is normally answered by a single
+// reply envelope and no reply waits on an idle timer.
 func (k *Kernel) recvBatch(msgs []*dtu.Message) {
 	k.stats.IKCReceived++
 	reqs := make([]*ikcRequest, len(msgs))
@@ -149,45 +156,62 @@ func (k *Kernel) recvBatch(msgs []*dtu.Message) {
 			k.exec(p, k.sys.Cost.IKCDispatch)
 			k.dispatchRequest(p, req)
 		}
+		k.xport.flushBatchReplies(batch.From, batch.Kind)
 		k.releaseCPU()
 	})
 }
 
-// dispatchRequest routes a request to its handler. Handlers run on a kernel
-// thread with the CPU held and reply via ikReply (except notifications and
-// the continuation-based revoke).
+// dispatchRequest routes a request to its handler and hands the returned
+// result to the reply path. Handlers run on a kernel thread with the CPU
+// held and *return* their reply instead of composing wire messages
+// themselves — the transport decides whether it leaves as a direct message
+// or joins a reply envelope. A nil result means no reply now: notifications
+// are never answered, and the continuation-based revocation paths answer
+// later via ikReplyAsync.
 func (k *Kernel) dispatchRequest(p *sim.Proc, req *ikcRequest) {
+	var rep *ikcReply
 	switch req.Kind {
 	case ikcObtain:
-		k.handleObtainReq(p, req)
+		rep = k.handleObtainReq(p, req)
 	case ikcDelegate:
-		k.handleDelegateReq(p, req)
+		rep = k.handleDelegateReq(p, req)
 	case ikcDelegateAck:
-		k.handleDelegateAck(p, req)
+		rep = k.handleDelegateAck(p, req)
 	case ikcRevoke:
-		k.handleRevokeReq(p, req)
+		rep = k.handleRevokeReq(p, req)
 	case ikcRevokeBatch:
-		k.handleRevokeBatchReq(p, req)
+		rep = k.handleRevokeBatchReq(p, req)
 	case ikcUnlinkChild:
-		k.handleUnlinkChild(p, req)
+		k.handleUnlinkChild(p, req) // notification: nobody to answer
 	case ikcSession:
-		k.handleSessionReq(p, req)
+		rep = k.handleSessionReq(p, req)
 	case ikcObtainSess:
-		k.handleObtainSessReq(p, req)
+		rep = k.handleObtainSessReq(p, req)
 	case ikcDelegateSess:
-		k.handleDelegateSessReq(p, req)
+		rep = k.handleDelegateSessReq(p, req)
 	default:
 		panic("core: unknown inter-kernel request kind")
 	}
+	if rep != nil {
+		k.ikReply(p, req, rep)
+	}
 }
 
-// ikReply sends the reply for req back to its sender. The caller must hold
-// the CPU token. Replies travel in reserved slots and bypass the in-flight
-// limit.
+// ikReply sends the reply for req back to its sender, routing it through
+// the reply sink when the policy batches this operation family (it then
+// rides a coalesced envelope instead of its own wire message). The caller
+// must hold the CPU token; the compose cost models marshalling the reply —
+// into a message or into the envelope buffer. Direct replies travel in
+// slots reserved by the request and bypass the in-flight limit.
 func (k *Kernel) ikReply(p *sim.Proc, req *ikcRequest, rep *ikcReply) {
 	k.exec(p, k.sys.Cost.IKCCompose)
 	rep.Seq = req.Seq
 	rep.From = k.id
+	if k.xport.batchesReply(req.Kind) {
+		k.xport.enqueueReply(req.From, replyClassOf(req.Kind), rep)
+		return
+	}
+	k.stats.IKCRepSent++
 	src := k.sys.kernels[req.From]
 	k.sys.Net.Send(k.pe, src.pe, ikcRepBytes, func() { src.recvReply(rep) })
 }
@@ -195,15 +219,36 @@ func (k *Kernel) ikReply(p *sim.Proc, req *ikcRequest, rep *ikcReply) {
 // ikReplyAsync sends a reply from event context (used by the
 // continuation-based revocation, which completes on message arrival rather
 // than on a thread). The compose cost is modeled as a delay before the
-// message leaves.
+// message leaves. These replies never join reply envelopes, regardless of
+// policy: a continuation fires long after any dispatch barrier has passed,
+// so batching it could only park a revocation's completion — the event the
+// initiator's syscall blocks on — on an idle window timer, trading
+// latency-critical progress for a coalescing opportunity that barely
+// exists (revocation already answers one reply per batched request).
+// Keeping them direct also pins batched revocation of arbitrarily deep
+// trees to its pre-sink event trace.
 func (k *Kernel) ikReplyAsync(req *ikcRequest, rep *ikcReply) {
 	rep.Seq = req.Seq
 	rep.From = k.id
-	src := k.sys.kernels[req.From]
 	k.stats.Busy += k.sys.Cost.IKCCompose
+	k.stats.IKCRepSent++
+	src := k.sys.kernels[req.From]
 	k.sys.Eng.Schedule(k.sys.Cost.IKCCompose, func() {
 		k.sys.Net.Send(k.pe, src.pe, ikcRepBytes, func() { src.recvReply(rep) })
 	})
+}
+
+// recvReplyVec runs at the requesting kernel when a reply envelope arrives
+// at its reply endpoint (event context, one delivery event for the whole
+// vector). Like direct replies, the demux costs no kernel thread: each
+// carried reply frees its share of the slot and completes its pending
+// future, in envelope (= enqueue) order, so requesters observe the same
+// reply order the answering kernel produced.
+func (k *Kernel) recvReplyVec(msgs []*dtu.Message) {
+	for _, m := range msgs {
+		k.dtu.Free(m)
+		k.recvReply(m.Payload.(*ikcReply))
+	}
 }
 
 // recvReply completes the pending future for a reply (event context).

@@ -12,19 +12,22 @@ import (
 // KernelStats counts per-kernel activity. Busy is the accumulated CPU time
 // of the kernel PE, which divided by elapsed time gives its utilization.
 type KernelStats struct {
-	Syscalls    uint64
-	IKCSent     uint64 // inter-kernel wire messages sent (an envelope counts once)
-	IKCReceived uint64 // inter-kernel wire messages received
-	IKCBatched  uint64 // requests that travelled inside a coalesced envelope
-	IKCBatches  uint64 // coalesced envelopes sent
-	Obtains     uint64
-	Delegates   uint64
-	Revokes     uint64
-	Sessions    uint64
-	CapsCreated uint64
-	CapsDeleted uint64
-	Orphans     uint64
-	Busy        sim.Duration
+	Syscalls      uint64
+	IKCSent       uint64 // request-direction wire messages sent (an envelope counts once)
+	IKCReceived   uint64 // request-direction wire messages received
+	IKCBatched    uint64 // requests that travelled inside a coalesced envelope
+	IKCBatches    uint64 // coalesced request envelopes sent
+	IKCRepSent    uint64 // reply-direction wire messages sent (an envelope counts once)
+	IKCRepBatched uint64 // replies that travelled inside a coalesced envelope
+	IKCRepBatches uint64 // coalesced reply envelopes sent
+	Obtains       uint64
+	Delegates     uint64
+	Revokes       uint64
+	Sessions      uint64
+	CapsCreated   uint64
+	CapsDeleted   uint64
+	Orphans       uint64
+	Busy          sim.Duration
 }
 
 func (a *KernelStats) add(b KernelStats) {
@@ -33,6 +36,9 @@ func (a *KernelStats) add(b KernelStats) {
 	a.IKCReceived += b.IKCReceived
 	a.IKCBatched += b.IKCBatched
 	a.IKCBatches += b.IKCBatches
+	a.IKCRepSent += b.IKCRepSent
+	a.IKCRepBatched += b.IKCRepBatched
+	a.IKCRepBatches += b.IKCRepBatches
 	a.Obtains += b.Obtains
 	a.Delegates += b.Delegates
 	a.Revokes += b.Revokes
@@ -123,14 +129,19 @@ func newKernel(s *System, id int) *Kernel {
 	k.xport = newTransport(k, s.cfg.batchingPolicy())
 	// Configure the kernel DTU's syscall receive endpoints; messages are
 	// dispatched to the syscall pool.
-	for ep := 2; ep < 2+SyscallRecvEPs; ep++ {
+	for ep := kernelSyscallEP0; ep < kernelSyscallEP0+SyscallRecvEPs; ep++ {
 		if err := k.dtu.ConfigureRecv(k.dtu, ep, dtu.DefaultSlots, k.onSyscallMsg); err != nil {
 			panic(err)
 		}
 	}
-	// The coalesced-envelope endpoint. One envelope is one wire message and
-	// occupies one slot, so the in-flight bound per peer sizes the budget.
+	// The coalesced request-envelope endpoint. One envelope is one wire
+	// message and occupies one slot, so the in-flight bound per peer sizes
+	// the budget.
 	must(k.dtu.ConfigureRecvVec(k.dtu, ikcBatchEP, MaxKernels*MaxInflight, k.recvBatch))
+	// The coalesced reply-envelope endpoint. The demux frees every carried
+	// message within the delivery event, so occupancy is transient; the
+	// budget mirrors the batch endpoint's for symmetry.
+	must(k.dtu.ConfigureRecvVec(k.dtu, ikcReplyEP, MaxKernels*MaxInflight, k.recvReplyVec))
 	return k
 }
 
@@ -227,7 +238,7 @@ func (k *Kernel) createVPE(v *VPE) {
 		k.exec(p, k.sys.Cost.VPECreate)
 		// Syscall channel: user EP 0 sends to one of the kernel's syscall
 		// endpoints; one credit models the single outstanding syscall.
-		sysEP := 2 + (v.PE % SyscallRecvEPs)
+		sysEP := kernelSyscallEP0 + (v.PE % SyscallRecvEPs)
 		must(v.dtu.ConfigureSend(k.dtu, vpeSyscallSendEP, k.pe, sysEP, 1, uint64(v.ID)))
 		must(v.dtu.ConfigureRecv(k.dtu, vpeSyscallReplyEP, 2, nil))
 		must(v.dtu.ConfigureRecv(k.dtu, vpeServiceReplyEP, 2, nil))

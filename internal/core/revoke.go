@@ -228,27 +228,26 @@ func (k *Kernel) deleteTree(p *sim.Proc, c *cap.Capability, rs *revState) {
 // handleRevokeReq processes an incoming revoke request (Algorithm 1,
 // receive_revoke_request). It runs on one of the (at most two) revoke
 // threads and never pauses for replies: if remote children remain, it
-// registers a continuation and returns, keeping the thread count fixed.
-func (k *Kernel) handleRevokeReq(p *sim.Proc, req *ikcRequest) {
+// registers a continuation and returns nil, keeping the thread count
+// fixed; the continuation answers later via ikReplyAsync.
+func (k *Kernel) handleRevokeReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 	k.exec(p, k.sys.Cost.CapLookup+k.sys.Cost.DDLDecode)
 	c := k.store.Lookup(req.Key)
 	if c == nil {
 		// Already revoked; confirm (idempotent).
-		k.ikReply(p, req, &ikcReply{})
-		return
+		return &ikcReply{}
 	}
 	if c.Marked {
 		// Join the running revocation; reply when it completes. Replying
 		// now would acknowledge an incomplete revoke ("Incomplete").
 		rs := k.revocations[req.Key]
 		if rs == nil {
-			k.ikReply(p, req, &ikcReply{})
-			return
+			return &ikcReply{}
 		}
 		rs.waiters = append(rs.waiters, func(p2 *sim.Proc) {
 			k.ikReplyAsync(req, &ikcReply{})
 		})
-		return
+		return nil
 	}
 	rs := &revState{root: c, sending: true}
 	k.revokeChildren(p, c, rs)
@@ -256,19 +255,19 @@ func (k *Kernel) handleRevokeReq(p *sim.Proc, req *ikcRequest) {
 	rs.sending = false
 	if rs.outstanding == 0 {
 		k.finishRevocation(p, rs)
-		k.ikReply(p, req, &ikcReply{})
-		return
+		return &ikcReply{}
 	}
 	rs.waiters = append(rs.waiters, func(p2 *sim.Proc) {
 		k.ikReplyAsync(req, &ikcReply{})
 	})
+	return nil
 }
 
 // handleRevokeBatchReq processes a batched revoke request: each key is
-// revoked like a single ikcRevoke target; the reply is sent once every
+// revoked like a single ikcRevoke target; the reply leaves once every
 // key's subtree is gone. Like single revokes, the handler never pauses for
 // remote children — completion is continuation-based.
-func (k *Kernel) handleRevokeBatchReq(p *sim.Proc, req *ikcRequest) {
+func (k *Kernel) handleRevokeBatchReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 	outstanding := 0
 	done := false
 	finish := func() {
@@ -310,8 +309,9 @@ func (k *Kernel) handleRevokeBatchReq(p *sim.Proc, req *ikcRequest) {
 	}
 	done = true
 	if outstanding == 0 {
-		k.ikReply(p, req, &ikcReply{})
+		return &ikcReply{}
 	}
+	return nil
 }
 
 // invalidateEPs resets user DTU endpoints configured from a revoked

@@ -269,31 +269,28 @@ func clientEPFor(ident uint64) int {
 }
 
 // handleSessionReq runs at the service's kernel.
-func (k *Kernel) handleSessionReq(p *sim.Proc, req *ikcRequest) {
+func (k *Kernel) handleSessionReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 	k.exec(p, k.sys.Cost.CapLookup+k.sys.Cost.DDLDecode)
 	svcCap := k.store.Lookup(req.Key)
 	if svcCap == nil || svcCap.Marked {
-		k.ikReply(p, req, &ikcReply{Err: ErrNoService})
-		return
+		return &ikcReply{Err: ErrNoService}
 	}
 	so := svcCap.Object.(*cap.ServiceObject)
 	sv := k.vpeOf(so.VPE)
 	if sv == nil || sv.exited || sv.svc == nil {
-		k.ikReply(p, req, &ikcReply{Err: ErrNoService})
-		return
+		return &ikcReply{Err: ErrNoService}
 	}
 	res := k.queryService(p, sv, svcEvent{kind: SvcOpen, client: req.VPE, args: req.Args})
 	if res.Errno != OK {
-		k.ikReply(p, req, &ikcReply{Err: res.Errno})
-		return
+		return &ikcReply{Err: res.Errno}
 	}
 	sessKey := ddl.NewKey(req.ChildPE, req.ChildVPE, ddl.TypeSession, req.ChildObj)
 	svcCap.AddChild(sessKey)
 	k.exec(p, k.sys.Cost.CapLink+k.sys.Cost.IKCMarshal)
-	k.ikReply(p, req, &ikcReply{
+	return &ikcReply{
 		Key:  svcCap.Key,
 		Args: sessionInfo{SvcPE: sv.PE, SvcEP: clientEPFor(res.Ident), Ident: res.Ident},
-	})
+	}
 }
 
 // --- session-scoped exchanges ---------------------------------------------
@@ -386,38 +383,33 @@ func (k *Kernel) sysObtainSess(p *sim.Proc, req *sysRequest) *sysReply {
 
 // handleObtainSessReq runs at the service's kernel: ask the service which
 // capability to hand out, link the child and return the object.
-func (k *Kernel) handleObtainSessReq(p *sim.Proc, req *ikcRequest) {
+func (k *Kernel) handleObtainSessReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 	k.exec(p, k.sys.Cost.CapLookup+k.sys.Cost.DDLDecode)
 	svcCap := k.store.Lookup(req.Key)
 	if svcCap == nil || svcCap.Marked {
-		k.ikReply(p, req, &ikcReply{Err: ErrNoService})
-		return
+		return &ikcReply{Err: ErrNoService}
 	}
 	so := svcCap.Object.(*cap.ServiceObject)
 	sv := k.vpeOf(so.VPE)
 	if sv == nil || sv.exited || sv.svc == nil {
-		k.ikReply(p, req, &ikcReply{Err: ErrNoService})
-		return
+		return &ikcReply{Err: ErrNoService}
 	}
 	res := k.queryService(p, sv, svcEvent{kind: SvcObtain, ident: req.Ident, args: req.Args})
 	if res.Errno != OK {
-		k.ikReply(p, req, &ikcReply{Err: res.Errno})
-		return
+		return &ikcReply{Err: res.Errno}
 	}
 	src := k.lookupSel(p, sv.ID, res.SrcSel)
 	if src == nil {
-		k.ikReply(p, req, &ikcReply{Err: ErrNoSuchCap})
-		return
+		return &ikcReply{Err: ErrNoSuchCap}
 	}
 	if src.Marked {
-		k.ikReply(p, req, &ikcReply{Err: ErrInRevocation})
-		return
+		return &ikcReply{Err: ErrInRevocation}
 	}
 	obj := deriveObject(src.Object)
 	childKey := ddl.NewKey(req.ChildPE, req.ChildVPE, obj.ObjType(), req.ChildObj)
 	src.AddChild(childKey)
 	k.exec(p, k.sys.Cost.CapLink+k.sys.Cost.IKCMarshal)
-	k.ikReply(p, req, &ikcReply{Key: src.Key, Object: obj, Perm: src.Perm, Args: res.Reply})
+	return &ikcReply{Key: src.Key, Object: obj, Perm: src.Perm, Args: res.Reply}
 }
 
 // sysDelegateSess pushes the client's capability at req.Sel into the
@@ -511,23 +503,20 @@ func (k *Kernel) sysDelegateSess(p *sim.Proc, req *sysRequest) *sysReply {
 
 // handleDelegateSessReq runs at the service's kernel: ask the service for
 // consent, prepare the child (handshake step 1).
-func (k *Kernel) handleDelegateSessReq(p *sim.Proc, req *ikcRequest) {
+func (k *Kernel) handleDelegateSessReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 	k.exec(p, k.sys.Cost.CapLookup+k.sys.Cost.DDLDecode)
 	svcCap := k.store.Lookup(req.Child)
 	if svcCap == nil || svcCap.Marked {
-		k.ikReply(p, req, &ikcReply{Err: ErrNoService})
-		return
+		return &ikcReply{Err: ErrNoService}
 	}
 	so := svcCap.Object.(*cap.ServiceObject)
 	sv := k.vpeOf(so.VPE)
 	if sv == nil || sv.exited || sv.svc == nil {
-		k.ikReply(p, req, &ikcReply{Err: ErrNoService})
-		return
+		return &ikcReply{Err: ErrNoService}
 	}
 	res := k.queryService(p, sv, svcEvent{kind: SvcDelegate, ident: req.Ident, args: req.Args, obj: req.Object})
 	if res.Errno != OK || !res.Accept {
-		k.ikReply(p, req, &ikcReply{Err: ErrDenied})
-		return
+		return &ikcReply{Err: ErrDenied}
 	}
 	childKey := k.mintKey(sv.PE, sv.ID, req.Object.ObjType())
 	child := &cap.Capability{
@@ -539,7 +528,7 @@ func (k *Kernel) handleDelegateSessReq(p *sim.Proc, req *ikcRequest) {
 	}
 	k.exec(p, k.sys.Cost.CapCreate)
 	k.pendingDelegations[childKey] = child
-	k.ikReply(p, req, &ikcReply{Key: childKey, Args: res.Reply})
+	return &ikcReply{Key: childKey, Args: res.Reply}
 }
 
 // --- client-side session API ----------------------------------------------

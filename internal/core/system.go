@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -27,9 +28,10 @@ type Config struct {
 	Cost *CostModel
 	// IKCBatching configures the unified inter-kernel transport: which
 	// operation families (capability exchange, service queries, tree
-	// revocation) aggregate requests into coalesced per-destination
-	// envelopes, and the flush policy (see transport.go). The zero value
-	// disables all batching.
+	// revocation) aggregate into coalesced per-destination envelopes — in
+	// both directions, requests and replies — and the flush policy,
+	// including the adaptive flush window (see transport.go). The zero
+	// value disables all batching.
 	IKCBatching IKCBatching
 	// RevokeBatching enables the paper's proposed optimization (§5.2,
 	// "Tree revocation"): instead of one inter-kernel message per remote
@@ -213,6 +215,11 @@ func (s *System) VPEs() []*VPE { return s.vpes }
 
 // Run executes the simulation until no events remain.
 func (s *System) Run() { s.Eng.Run() }
+
+// RunCtx executes the simulation until no events remain or ctx is done,
+// returning the context's error in the latter case. A cancelled system is
+// still consistent; Close unwinds its parked procs.
+func (s *System) RunCtx(ctx context.Context) error { return s.Eng.RunCtx(ctx) }
 
 // RunFor advances the simulation by d cycles.
 func (s *System) RunFor(d sim.Duration) { s.Eng.RunUntil(s.Eng.Now() + d) }

@@ -15,10 +15,13 @@ import (
 
 // wireStats sums the inter-kernel wire traffic of a run.
 type wireStats struct {
-	ikcSent    uint64 // inter-kernel wire messages (envelope counts once)
-	ikcBatched uint64 // requests that rode inside an envelope
-	nocMsgs    uint64 // every NoC delivery event (incl. syscalls, replies)
-	vecs       uint64 // coalesced DTU vector deliveries
+	ikcSent       uint64 // request-direction wire messages (envelope counts once)
+	ikcBatched    uint64 // requests that rode inside an envelope
+	ikcRepSent    uint64 // reply-direction wire messages (envelope counts once)
+	ikcRepBatched uint64 // replies that rode inside an envelope
+	ikcRepBatches uint64 // reply envelopes sent
+	nocMsgs       uint64 // every NoC delivery event (incl. syscalls, replies)
+	vecs          uint64 // coalesced DTU vector deliveries
 }
 
 func gatherWire(s *System) wireStats {
@@ -27,6 +30,9 @@ func gatherWire(s *System) wireStats {
 		st := s.Kernel(ki).Stats()
 		w.ikcSent += st.IKCSent
 		w.ikcBatched += st.IKCBatched
+		w.ikcRepSent += st.IKCRepSent
+		w.ikcRepBatched += st.IKCRepBatched
+		w.ikcRepBatches += st.IKCRepBatches
 		w.vecs += s.Fab.DTU(s.Kernel(ki).PE()).Stats().VecDeliveries
 	}
 	w.nocMsgs = s.Net.Stats().Messages
@@ -239,6 +245,228 @@ func TestMaxBatchInlineFlush(t *testing.T) {
 		t.Fatalf("obtains incomplete: %d mem caps, want %d", n, kids+1)
 	}
 	checkAllInvariants(t, s)
+}
+
+// TestReplyBatchingReducesMessages: the symmetric transport — with
+// exchange batching on, the replies to a spanning obtain fan-out coalesce
+// into reply envelopes, so the reply direction needs strictly fewer wire
+// messages too (the request direction was already pinned by
+// TestExchangeBatchingReducesMessages).
+func TestReplyBatchingReducesMessages(t *testing.T) {
+	const kids = 12
+	run := func(b IKCBatching) (wireStats, int) {
+		s := runFanoutObtain(t, Config{Kernels: 4, UserPEs: kids + 7, IKCBatching: b}, kids)
+		return gatherWire(s), memCapsEverywhere(s)
+	}
+	plain, plainCaps := run(IKCBatching{})
+	batched, batchedCaps := run(IKCBatching{Exchange: true})
+
+	if plainCaps != batchedCaps {
+		t.Fatalf("batched run created %d mem caps, plain %d", batchedCaps, plainCaps)
+	}
+	if batched.ikcRepSent >= plain.ikcRepSent {
+		t.Fatalf("reply batching did not reduce reply messages: %d vs %d",
+			batched.ikcRepSent, plain.ikcRepSent)
+	}
+	if batched.ikcRepBatches == 0 || batched.ikcRepBatched == 0 {
+		t.Fatalf("no reply envelopes recorded: batches=%d batched=%d",
+			batched.ikcRepBatches, batched.ikcRepBatched)
+	}
+	if plain.ikcRepBatches != 0 || plain.ikcRepBatched != 0 {
+		t.Fatalf("unbatched run produced reply envelopes: batches=%d batched=%d",
+			plain.ikcRepBatches, plain.ikcRepBatched)
+	}
+	// The symmetric transport's point: total wire traffic (both directions)
+	// drops below what request-only batching achieved, i.e. the reply
+	// direction no longer dominates.
+	if total := batched.ikcSent + batched.ikcRepSent; total >= plain.ikcSent {
+		t.Fatalf("batched total (req+rep = %d) not below plain request count alone (%d)",
+			total, plain.ikcSent)
+	}
+}
+
+// TestReplyEnvelopeDelegateHandshake: the delegate two-phase handshake
+// survives reply batching. Several spanning delegates run concurrently so
+// their handshake-step-1 replies share reply envelopes; each ack (sent
+// only after the reply it depends on is demuxed) must still find its
+// pendingDelegations entry, and every receiver must end up owning the
+// delegated capability.
+func TestReplyEnvelopeDelegateHandshake(t *testing.T) {
+	const pairs = 6
+	cfg := Config{
+		Kernels:     2,
+		UserPEs:     2 * pairs,
+		IKCBatching: IKCBatching{Exchange: true, ServiceQuery: true},
+	}
+	s := MustNew(cfg)
+	t.Cleanup(s.Close)
+
+	// Receivers live in kernel 1's group (second half of userPEs); they
+	// park forever and accept every exchange.
+	receivers := make([]*VPE, pairs)
+	for i := 0; i < pairs; i++ {
+		v, err := s.SpawnOn(s.userPEs[pairs+i], "recv", func(v *VPE, p *sim.Proc) { p.Park() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		receivers[i] = v
+	}
+	// Delegators live in kernel 0's group; each allocates memory and
+	// delegates it to its receiver. They all start together, so the
+	// delegate requests batch and so do the handshake replies.
+	errs := make([]error, pairs)
+	for i := 0; i < pairs; i++ {
+		i := i
+		if _, err := s.SpawnOn(s.userPEs[i], "dlg", func(v *VPE, p *sim.Proc) {
+			sel, err := v.AllocMem(p, 4096, dtu.PermRW)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = v.DelegateTo(p, receivers[i].ID, sel)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("delegate %d failed: %v", i, err)
+		}
+	}
+	k1 := s.Kernel(1)
+	for i, r := range receivers {
+		owned := 0
+		for _, c := range k1.Store().VPECaps(r.ID) {
+			if _, ok := c.Object.(*cap.MemObject); ok {
+				owned++
+			}
+		}
+		if owned != 1 {
+			t.Fatalf("receiver %d owns %d mem caps, want 1", i, owned)
+		}
+	}
+	// No handshake may be left half-open, and the replies must actually
+	// have ridden envelopes for the test to mean anything.
+	for ki := 0; ki < s.Kernels(); ki++ {
+		if n := len(s.Kernel(ki).pendingDelegations); n != 0 {
+			t.Fatalf("kernel %d holds %d dangling pending delegations", ki, n)
+		}
+	}
+	if w := gatherWire(s); w.ikcRepBatches == 0 {
+		t.Fatal("handshake replies never rode a reply envelope")
+	}
+	checkAllInvariants(t, s)
+}
+
+// TestAdaptiveFlushWindow: the drain feedback of the flush window. Lone
+// spanning obtains (flushes draining a single request) shrink a queue's
+// window below the FlushWindow ceiling; a subsequent burst that fills
+// MaxBatch envelopes grows it back.
+func TestAdaptiveFlushWindow(t *testing.T) {
+	cfg := Config{
+		Kernels:     2,
+		UserPEs:     20,
+		IKCBatching: IKCBatching{Exchange: true, MaxBatch: 2},
+	}
+	s := MustNew(cfg)
+	t.Cleanup(s.Close)
+	requesterK := s.KernelOfPE(s.userPEs[10]) // kernel 1, where the obtains originate
+	key := qkey{dst: 0, kind: ikcObtain}
+
+	ready := sim.NewFuture[cap.Selector](s.Eng)
+	burst := sim.NewFuture[struct{}](s.Eng)
+	root, err := s.SpawnOn(s.userPEs[0], "root", func(v *VPE, p *sim.Proc) {
+		sel, err := v.AllocMem(p, 4096, dtu.PermRW)
+		if err != nil {
+			t.Errorf("alloc: %v", err)
+			return
+		}
+		ready.Complete(sel)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var afterLone sim.Duration
+	if _, err := s.SpawnOn(s.userPEs[10], "lone", func(v *VPE, p *sim.Proc) {
+		sel := ready.Wait(p)
+		for i := 0; i < 2; i++ {
+			if _, err := v.ObtainFrom(p, root.ID, sel); err != nil {
+				t.Errorf("lone obtain: %v", err)
+				return
+			}
+			p.Sleep(5 * DefaultFlushWindow) // let the link go quiet between obtains
+		}
+		afterLone = requesterK.xport.queue(key).window
+		burst.Complete(struct{}{})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.SpawnOn(s.userPEs[11+i], "burst", func(v *VPE, p *sim.Proc) {
+			burst.Wait(p)
+			sel := ready.Wait(p)
+			if _, err := v.ObtainFrom(p, root.ID, sel); err != nil {
+				t.Errorf("burst obtain: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+
+	if afterLone >= DefaultFlushWindow {
+		t.Fatalf("lone flushes did not shrink the window: %d (ceiling %d)",
+			afterLone, DefaultFlushWindow)
+	}
+	if afterLone < DefaultFlushWindowMin {
+		t.Fatalf("window %d fell below the floor %d", afterLone, DefaultFlushWindowMin)
+	}
+	final := requesterK.xport.queue(key).window
+	if final <= afterLone {
+		t.Fatalf("MaxBatch burst did not grow the window: %d after lone obtains, %d after burst",
+			afterLone, final)
+	}
+}
+
+// replyTrace runs a delegate-heavy batched scenario (spanning delegates
+// whose handshake replies share envelopes, then a batched fan-out obtain
+// plus revoke) and returns its deterministic fingerprint, including the
+// reply-envelope counters.
+func replyTrace(t *testing.T, eng *sim.Engine) [4]uint64 {
+	t.Helper()
+	cfg := Config{
+		Kernels:     4,
+		UserPEs:     19,
+		IKCBatching: IKCBatching{Exchange: true, ServiceQuery: true, Revoke: true},
+		Engine:      eng,
+	}
+	s, rev := buildFanout(t, cfg, 12)
+	w := gatherWire(s)
+	return [4]uint64{uint64(rev), uint64(s.Now()), w.ikcRepSent, w.ikcRepBatches}
+}
+
+// TestReplyBatchedPoolReuseDeterminism mirrors
+// TestBatchedPoolReuseDeterminism for the reply direction: the
+// reply-envelope counters and simulated times must be bit-identical on a
+// fresh engine and on a pooled engine that already ran a different batched
+// workload.
+func TestReplyBatchedPoolReuseDeterminism(t *testing.T) {
+	want := replyTrace(t, sim.NewEngine())
+	if want[3] == 0 {
+		t.Fatal("scenario produced no reply envelopes; fingerprint is vacuous")
+	}
+
+	pool := sim.NewPool()
+	dirty := pool.Get()
+	runFanoutObtain(t, Config{Kernels: 2, UserPEs: 8, IKCBatching: IKCBatching{Exchange: true}, Engine: dirty}, 5)
+	pool.Put(dirty)
+
+	got := replyTrace(t, pool.Get())
+	if got != want {
+		t.Fatalf("reply-batched run diverged on pooled engine: %v vs %v", got, want)
+	}
 }
 
 // batchedTrace runs the batched fan-out scenario on the given engine and

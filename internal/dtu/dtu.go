@@ -157,7 +157,10 @@ type endpoint struct {
 
 // Stats counts per-DTU activity. Sent/Received count logical messages;
 // VecDeliveries counts coalesced vectors delivered (each carrying several
-// logical messages in one delivery event and one receive slot).
+// logical messages in one delivery event and one receive slot) and
+// VecItems the logical messages that arrived inside them, so
+// VecItems/VecDeliveries is the average coalescing factor this DTU
+// observed.
 type Stats struct {
 	Sent          uint64
 	Received      uint64
@@ -165,6 +168,7 @@ type Stats struct {
 	MemReads      uint64
 	MemWrites     uint64
 	VecDeliveries uint64
+	VecItems      uint64
 }
 
 // DTU is one data transfer unit, attached to PE `pe`.
@@ -401,7 +405,11 @@ func (d *DTU) deliver(ep int, msg *Message) {
 // kernels) may use it — their flow control lives above the DTU, in the
 // in-flight message accounting of the inter-kernel protocol, so no send
 // credits are consumed. This is the batched-delivery primitive the unified
-// IKC transport rides: it cuts the per-message NoC events and consumer
+// IKC transport rides in both directions: request envelopes land on a
+// kernel-thread consumer (one handoff per batch), and reply envelopes land
+// on an event-context demux whose handler frees each message as it
+// completes the matching future, so the shared slot is released within the
+// delivery event itself. It cuts the per-message NoC events and consumer
 // handoffs that dominate wide fan-outs.
 func (d *DTU) SendVecTo(dstPE, dstEP int, items []VecItem) error {
 	if !d.privileged {
@@ -447,6 +455,7 @@ func (d *DTU) deliverVec(ep int, msgs []*Message) {
 	e.used++
 	d.stats.Received += uint64(len(msgs))
 	d.stats.VecDeliveries++
+	d.stats.VecItems += uint64(len(msgs))
 	meta := &vecMeta{remaining: len(msgs)}
 	for _, m := range msgs {
 		m.dstDTU = d

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunCtxCompletes: with a live context, RunCtx behaves exactly like
+// Run — the queue drains and nil is returned.
+func TestRunCtxCompletes(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for i := 0; i < 10; i++ {
+		d := Duration(i)
+		e.Schedule(d, func() { ran++ })
+	}
+	if err := e.RunCtx(context.Background()); err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	if ran != 10 || e.Pending() != 0 {
+		t.Fatalf("ran=%d pending=%d, want 10/0", ran, e.Pending())
+	}
+}
+
+// TestRunCtxAlreadyCancelled: a cancelled context executes nothing.
+func TestRunCtxAlreadyCancelled(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() { t.Error("event ran under a cancelled context") })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.RunCtx(ctx); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if e.Executed() != 0 || e.Pending() != 1 {
+		t.Fatalf("executed=%d pending=%d, want 0/1", e.Executed(), e.Pending())
+	}
+}
+
+// TestRunCtxStopsRunawaySim: an endlessly self-rescheduling simulation —
+// the case Run would never return from — stops when the context is
+// cancelled, and the engine remains usable: a later RunCtx resumes, and
+// Kill composes (unwinding parked procs to an exact LiveProcs of zero).
+func TestRunCtxStopsRunawaySim(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	tick = func() { e.Schedule(1, tick) }
+	e.Schedule(1, tick)
+	e.Spawn("server", func(p *Proc) { p.Park() }) // parks forever
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if err := e.RunCtx(ctx); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	executed := e.Executed()
+	if executed == 0 {
+		t.Fatal("no events executed before cancellation")
+	}
+
+	// The engine is still consistent: a bounded resume makes progress.
+	if err := e.RunUntilCtx(context.Background(), e.Now()+100); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if e.Executed() <= executed {
+		t.Fatal("resumed run made no progress")
+	}
+
+	// Cancellation returns on the engine side, so Kill is legal here.
+	e.Kill()
+	if n := e.LiveProcs(); n != 0 {
+		t.Fatalf("LiveProcs = %d after Kill, want 0", n)
+	}
+}
+
+// TestRunUntilCtxHorizon: the time horizon still bounds a cancellable run.
+func TestRunUntilCtxHorizon(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(5, func() { ran++ })
+	e.Schedule(50, func() { ran++ })
+	if err := e.RunUntilCtx(context.Background(), 10); err != nil {
+		t.Fatalf("RunUntilCtx: %v", err)
+	}
+	if ran != 1 || e.Now() != 5 {
+		t.Fatalf("ran=%d now=%d, want 1/5", ran, e.Now())
+	}
+}
