@@ -7,12 +7,17 @@
 //	semperos-bench -experiment table3,fig4      # selected experiments
 //	semperos-bench -experiment fig6 -quick      # reduced scale
 //	semperos-bench -quick -parallel 4 -json out.json
+//	semperos-bench -quick -shards 4 -costs BENCH_quick.json
 //
 // Experiments: table3, fig4, fig5, table4, fig6, fig7, fig8, fig9, fig10,
-// ablation. Independent experiment configurations run on a worker pool
-// (-parallel, default GOMAXPROCS); all simulated metrics are deterministic
-// and independent of the parallelism. -json writes every experiment run as
-// a machine-readable record (schema semperos-bench/v1, see
+// ablation. Every experiment plans its runs as serializable task specs and
+// executes them on a worker pool (-parallel, default GOMAXPROCS) or — with
+// -shards N — on N re-exec'd worker processes speaking an NDJSON
+// spec/result protocol on stdin/stdout, dispatched longest-first by the
+// cost model (-costs seeds it with the wallclocks of a prior report). All
+// simulated metrics are deterministic and independent of the parallelism,
+// the sharding and the schedule. -json writes every experiment run as a
+// machine-readable record (schema semperos-bench/v1, see
 // internal/bench/report.go).
 package main
 
@@ -22,27 +27,83 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
 )
 
+// experimentNames are the valid -experiment tokens, in run order. The
+// extras (run only when named, never under "all") keep the default report
+// directly comparable across PRs.
+var experimentNames = []string{
+	"table3", "fig4", "fig5", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
+}
+
+var extraExperimentNames = []string{"ablation-ikc"}
+
 func main() {
-	// realMain holds all the defers (profile flushing, file closing), so an
-	// error exit still stops the CPU profile — os.Exit in main would skip
-	// them and truncate the profile.
+	// realMain holds all the defers (profile flushing, worker shutdown, file
+	// closing), so an error exit still stops the CPU profile — os.Exit in
+	// main would skip them and truncate the profile.
 	os.Exit(realMain())
 }
 
 func realMain() int {
 	experiment := flag.String("experiment", "all", "comma-separated list: table3,fig4,fig5,table4,fig6,fig7,fig8,fig9,fig10,ablation,all; extras (opt-in, excluded from all): ablation-ikc")
 	quick := flag.Bool("quick", false, "run at reduced scale (64 instances, 8 kernels)")
-	parallel := flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS); ignored with -shards")
+	shards := flag.Int("shards", 0, "execute the sweep on N worker processes (0 = in-process)")
+	costs := flag.String("costs", "", "prior report JSON whose wallclocks seed longest-first dispatch (default: instance-count heuristic)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the sweep) to this file")
+	worker := flag.Bool("worker", false, "internal: serve the shard worker protocol on stdin/stdout")
 	flag.Parse()
+
+	if *worker {
+		// Shard worker mode: the coordinator owns stdout; serve the protocol
+		// and exit. Task failures travel inside results — only a broken
+		// stream is fatal here.
+		if err := bench.RunWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "semperos-bench -worker: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	valid := map[string]bool{"all": true}
+	for _, n := range experimentNames {
+		valid[n] = true
+	}
+	for _, n := range extraExperimentNames {
+		valid[n] = true
+	}
+	want := map[string]bool{}
+	var unknown []string
+	for _, e := range strings.Split(*experiment, ",") {
+		name := strings.TrimSpace(e)
+		if name == "" {
+			continue // tolerate stray commas (e.g. "table3,")
+		}
+		if !valid[name] {
+			unknown = append(unknown, name)
+			continue
+		}
+		want[name] = true
+	}
+	if len(want) == 0 && len(unknown) == 0 {
+		unknown = append(unknown, *experiment)
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "unknown experiment(s) %q; valid names: all, %s (extras: %s)\n",
+			strings.Join(unknown, ", "),
+			strings.Join(experimentNames, ", "),
+			strings.Join(extraExperimentNames, ", "))
+		return 2
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -63,17 +124,36 @@ func realMain() int {
 		opts = bench.Quick()
 	}
 	opts.Parallel = *parallel
+	if *costs != "" {
+		model, err := bench.LoadCostModel(*costs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading cost model: %v\n", err)
+			return 1
+		}
+		opts.Costs = model
+	}
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if *shards > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resolving own executable for -shards: %v\n", err)
+			return 1
+		}
+		ex := &bench.ShardExecutor{
+			Shards: *shards,
+			Argv:   []string{exe, "-worker"},
+			Costs:  opts.Costs,
+		}
+		defer ex.Close()
+		opts.Executor = ex
+		workers = *shards
+	}
 	report := bench.NewReport(*quick, workers)
 	opts.Report = report
 
-	want := map[string]bool{}
-	for _, e := range strings.Split(*experiment, ",") {
-		want[strings.TrimSpace(e)] = true
-	}
 	all := want["all"]
 	ran := 0
 	total := time.Duration(0)
@@ -126,12 +206,8 @@ func realMain() int {
 	run("ablation", func() { bench.AblationBatching(opts, 128, 12).Print(os.Stdout) })
 	runExtra("ablation-ikc", func() { bench.AblationIKC(opts, 96, 12).Print(os.Stdout) })
 
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
-		flag.Usage()
-		return 2
-	}
 	fmt.Printf("[%d experiments, %d workers, total %v]\n", ran, workers, total.Round(time.Millisecond))
+	report.WallclockSummary(os.Stdout, 10)
 	if *jsonPath != "" {
 		if err := report.WriteFile(*jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)

@@ -105,9 +105,45 @@ func ablationTreeRevoke(eng *sim.Engine, n, extra int, batching bool) (sim.Durat
 	return revTime, msgsAfter - msgsBefore
 }
 
+// kindAblationRevoke runs one tree-revocation cell of the batching
+// ablation; Config encodes it (Kernels = 1+extra, Instances = children),
+// Variant picks plain or batched.
+const kindAblationRevoke = "ablation-revoke"
+
+// ablationAux carries the run's inter-kernel message count for the
+// post-process table (kept out of Metrics so the report layout is
+// unchanged).
+type ablationAux struct {
+	Msgs uint64 `json:"msgs"`
+}
+
+func init() { registerKind(kindAblationRevoke, runAblationRevokeSpec) }
+
+func runAblationRevokeSpec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
+	n, extra := spec.Config.Instances, spec.Config.Kernels-1
+	c, m := ablationTreeRevoke(eng, n, extra, spec.Variant == "batched")
+	return Metrics{Cycles: uint64(c)}, ablationAux{Msgs: m}, nil
+}
+
+// ablationSpecs plans the (breadth, variant) grid.
+func ablationSpecs(breadths []int, extra int) []TaskSpec {
+	specs := make([]TaskSpec, 0, 2*len(breadths))
+	for _, n := range breadths {
+		for _, variant := range []string{"plain", "batched"} {
+			specs = append(specs, TaskSpec{
+				Experiment: "ablation/" + variant,
+				Kind:       kindAblationRevoke,
+				Variant:    variant,
+				Config:     ExpConfig{Kernels: extra + 1, Instances: n},
+			})
+		}
+	}
+	return specs
+}
+
 // AblationBatching measures tree revocation with and without message
 // batching, spreading the children over 1+extra kernels. Every (breadth,
-// variant) cell is an independent simulation run on the harness pool.
+// variant) cell is an independent simulation in one planned batch.
 func AblationBatching(o Options, maxKids, extra int) AblationResult {
 	if maxKids <= 0 {
 		maxKids = 128
@@ -119,37 +155,15 @@ func AblationBatching(o Options, maxKids, extra int) AblationResult {
 	for n := 16; n <= maxKids; n += 16 {
 		breadths = append(breadths, n)
 	}
-	tasks := make([]Task, 0, 2*len(breadths))
-	msgs := make([]uint64, 2*len(breadths))
-	for i, n := range breadths {
-		i, n := i, n
-		for vi, batching := range []bool{false, true} {
-			vi, batching := vi, batching
-			name := "ablation/plain"
-			if batching {
-				name = "ablation/batched"
-			}
-			tasks = append(tasks, Task{
-				Experiment: name,
-				Config:     ExpConfig{Kernels: extra + 1, Instances: n},
-				Run: func(eng *sim.Engine) (Metrics, error) {
-					c, m := ablationTreeRevoke(eng, n, extra, batching)
-					msgs[2*i+vi] = m
-					return Metrics{Cycles: uint64(c)}, nil
-				},
-			})
-		}
-	}
-	rs := RunTasks(o.Parallel, tasks)
-	mustOK(rs)
+	rs := o.execute(ablationSpecs(breadths, extra))
 	r := AblationResult{ExtraKernels: extra}
 	for i, n := range breadths {
 		r.Rows = append(r.Rows, AblationRow{
 			Children:      n,
 			PlainCycles:   sim.Duration(rs[2*i].Metrics.Cycles),
 			BatchedCycles: sim.Duration(rs[2*i+1].Metrics.Cycles),
-			PlainMsgs:     msgs[2*i],
-			BatchedMsgs:   msgs[2*i+1],
+			PlainMsgs:     auxOf[ablationAux](rs[2*i]).Msgs,
+			BatchedMsgs:   auxOf[ablationAux](rs[2*i+1]).Msgs,
 		})
 	}
 	o.record(rs)
@@ -328,10 +342,65 @@ func ablationSvcQuery(eng *sim.Engine, n, extra int, batched bool) (sim.Duration
 	return end - t0, req, rep
 }
 
+// kindIKCExchange and kindIKCSvcQuery run one fan-out cell of the
+// transport ablation; Config encodes it (Kernels = 1+extra, Instances =
+// clients), Variant picks plain or batched. The wire-message split lives in
+// Metrics (ReqMsgs/RepMsgs), so these kinds need no aux.
+const (
+	kindIKCExchange = "ikc-exchange"
+	kindIKCSvcQuery = "ikc-svcquery"
+)
+
+func init() {
+	registerKind(kindIKCExchange, runIKCSpec)
+	registerKind(kindIKCSvcQuery, runIKCSpec)
+}
+
+func runIKCSpec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
+	n, extra := spec.Config.Instances, spec.Config.Kernels-1
+	batched := spec.Variant == "batched"
+	var c sim.Duration
+	var req, rep uint64
+	switch spec.Kind {
+	case kindIKCExchange:
+		c, req, rep = ablationExchange(eng, n, extra, batched)
+	case kindIKCSvcQuery:
+		c, req, rep = ablationSvcQuery(eng, n, extra, batched)
+	default:
+		return Metrics{}, nil, fmt.Errorf("ikc ablation: unknown kind %q", spec.Kind)
+	}
+	return Metrics{Cycles: uint64(c), ReqMsgs: req, RepMsgs: rep}, nil, nil
+}
+
+// ikcOps is the operation axis of the transport ablation; the planner and
+// the post-process both iterate it so the grid cannot fall out of step.
+var ikcOps = []struct{ name, kind string }{
+	{"exchange", kindIKCExchange},
+	{"svcquery", kindIKCSvcQuery},
+}
+
+// ablationIKCSpecs plans the (operation, breadth, variant) grid.
+func ablationIKCSpecs(breadths []int, extra int) []TaskSpec {
+	var specs []TaskSpec
+	for _, op := range ikcOps {
+		for _, n := range breadths {
+			for _, variant := range []string{"plain", "batched"} {
+				specs = append(specs, TaskSpec{
+					Experiment: "ablation/" + op.name + "-" + variant,
+					Kind:       op.kind,
+					Variant:    variant,
+					Config:     ExpConfig{Kernels: extra + 1, Instances: n},
+				})
+			}
+		}
+	}
+	return specs
+}
+
 // AblationIKC measures the unified-transport batching of capability
 // exchange and service queries against the plain per-request transport,
 // spreading the clients over 1+extra kernels. Every (breadth, operation,
-// variant) cell is an independent simulation on the harness pool.
+// variant) cell is an independent simulation in one planned batch.
 func AblationIKC(o Options, maxClients, extra int) AblationIKCResult {
 	if maxClients <= 0 {
 		maxClients = 96
@@ -343,43 +412,11 @@ func AblationIKC(o Options, maxClients, extra int) AblationIKCResult {
 	for n := 16; n <= maxClients; n += 16 {
 		breadths = append(breadths, n)
 	}
-	kind := []struct {
-		name string
-		run  func(eng *sim.Engine, n int, batched bool) (sim.Duration, uint64, uint64)
-	}{
-		{"exchange", func(eng *sim.Engine, n int, batched bool) (sim.Duration, uint64, uint64) {
-			return ablationExchange(eng, n, extra, batched)
-		}},
-		{"svcquery", func(eng *sim.Engine, n int, batched bool) (sim.Duration, uint64, uint64) {
-			return ablationSvcQuery(eng, n, extra, batched)
-		}},
-	}
-	variants := []struct {
-		suffix  string
-		batched bool
-	}{{"plain", false}, {"batched", true}}
-
-	var tasks []Task
-	idx := func(k, b, v int) int { return (k*len(breadths)+b)*len(variants) + v }
-	for _, kd := range kind {
-		for _, n := range breadths {
-			for _, va := range variants {
-				n, kd, va := n, kd, va
-				tasks = append(tasks, Task{
-					Experiment: "ablation/" + kd.name + "-" + va.suffix,
-					Config:     ExpConfig{Kernels: extra + 1, Instances: n},
-					Run: func(eng *sim.Engine) (Metrics, error) {
-						c, req, rep := kd.run(eng, n, va.batched)
-						return Metrics{Cycles: uint64(c), ReqMsgs: req, RepMsgs: rep}, nil
-					},
-				})
-			}
-		}
-	}
-	rs := RunTasks(o.Parallel, tasks)
-	mustOK(rs)
+	const nvariants = 2 // plain, batched
+	idx := func(k, b, v int) int { return (k*len(breadths)+b)*nvariants + v }
+	rs := o.execute(ablationIKCSpecs(breadths, extra))
 	r := AblationIKCResult{ExtraKernels: extra}
-	for ki := range kind {
+	for ki := range ikcOps {
 		rows := make([]IKCRow, 0, len(breadths))
 		for bi, n := range breadths {
 			plain := rs[idx(ki, bi, 0)].Metrics

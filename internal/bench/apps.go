@@ -29,6 +29,14 @@ type Options struct {
 	// Report, when non-nil, collects one Result per experiment run for the
 	// machine-readable JSON report (see report.go).
 	Report *Report
+	// Executor, when non-nil, replaces the in-process worker pool — the
+	// ShardExecutor runs the planned specs on worker subprocesses. All
+	// simulated metrics are independent of the executor.
+	Executor Executor
+	// Costs seeds longest-first dispatch with recorded wallclocks from a
+	// prior report; nil falls back to the instance-count heuristic. Only
+	// wallclock changes.
+	Costs *CostModel
 }
 
 // Full returns the paper-scale options.
@@ -100,24 +108,35 @@ func Table4(o Options) Table4Result {
 			workload.Config{Kernels: 1, Services: 1, Instances: 1, Trace: tr},
 			workload.Config{Kernels: kernels, Services: services, Instances: o.MaxInstances, Trace: tr})
 	}
-	full, rs := o.runWorkloads("table4", cfgs)
+	rs := o.runWorkloads("table4", cfgs)
 	for i, tr := range traces {
-		r1, rn := full[2*i], full[2*i+1]
+		make1 := auxOf[workloadAux](rs[2*i]).Makespan
+		makeN := auxOf[workloadAux](rs[2*i+1]).Makespan
 		// Table 4's headline cycle metric is the makespan (the denominator
 		// of the ops/s rate), not the mean instance runtime.
-		rs[2*i].Metrics.Cycles = uint64(r1.Makespan)
-		rs[2*i+1].Metrics.Cycles = uint64(rn.Makespan)
+		rs[2*i].Metrics.Cycles = make1
+		rs[2*i+1].Metrics.Cycles = makeN
 		res.Rows = append(res.Rows, Table4Row{
 			Name:     tr.Name,
-			CapOps1:  r1.TotalCapOps,
-			Rate1:    r1.CapOpsPerSecond(),
-			CapOpsN:  rn.TotalCapOps,
-			RateN:    rn.CapOpsPerSecond(),
+			CapOps1:  rs[2*i].Metrics.CapOps,
+			Rate1:    capOpsRate(rs[2*i].Metrics.CapOps, make1),
+			CapOpsN:  rs[2*i+1].Metrics.CapOps,
+			RateN:    capOpsRate(rs[2*i+1].Metrics.CapOps, makeN),
 			PaperOps: tr.WantCapOps,
 		})
 	}
 	o.record(rs)
 	return res
+}
+
+// capOpsRate mirrors workload.Result.CapOpsPerSecond from the quantities
+// that cross the worker protocol (identical float operations, so the rates
+// match the in-process computation bit for bit).
+func capOpsRate(ops, makespan uint64) float64 {
+	if makespan == 0 {
+		return 0
+	}
+	return float64(ops) / (float64(makespan) / core.CyclesPerSecond)
 }
 
 // Print writes the table in the paper's layout.
@@ -327,7 +346,7 @@ func Fig9(o Options) []Fig9Result {
 			plans = append(plans, pl)
 		}
 	}
-	_, rs := o.runWorkloads("fig9", cfgs)
+	rs := o.runWorkloads("fig9", cfgs)
 
 	var out []Fig9Result
 	pi := 0
@@ -390,9 +409,43 @@ func (r Fig10Result) Print(w io.Writer) {
 	}
 }
 
+// kindNginx runs the closed-loop Nginx server benchmark of Figure 10.
+const kindNginx = "nginx"
+
+// nginxAux is the side data of a server run: the completed request count,
+// from which the post-process derives the requests/s axis.
+type nginxAux struct {
+	Requests uint64 `json:"requests"`
+}
+
+func init() { registerKind(kindNginx, runNginxSpec) }
+
+func runNginxSpec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
+	r, err := workload.RunNginx(workload.NginxConfig{
+		Kernels:  spec.Config.Kernels,
+		Services: spec.Config.Services,
+		Servers:  spec.Config.Instances,
+		Engine:   eng,
+	})
+	if err != nil {
+		return Metrics{}, nil, err
+	}
+	m := Metrics{Cycles: uint64(r.Duration), CapOps: r.TotalCapOps}
+	return m, nginxAux{Requests: r.Requests}, nil
+}
+
+// reqRate mirrors workload.NginxResult.RequestsPerSecond from the
+// serialized quantities (Cycles is the measurement window).
+func reqRate(requests, duration uint64) float64 {
+	if duration == 0 {
+		return 0
+	}
+	return float64(requests) / (float64(duration) / core.CyclesPerSecond)
+}
+
 // Fig10 measures Nginx scalability over server process counts and OS
 // configurations (paper Figure 10). Every (config, servers) cell is an
-// independent simulation and runs on the harness pool.
+// independent simulation; the whole figure is one planned batch.
 func Fig10(o Options) Fig10Result {
 	configs := []struct{ k, s int }{
 		{8, 8}, {8, 16}, {8, 32}, {16, 16}, {32, 16}, {32, 32},
@@ -401,39 +454,28 @@ func Fig10(o Options) Fig10Result {
 	if o.MaxInstances < 512 {
 		serverCounts = []int{8, 16, 24, 32}
 	}
-	var ncfgs []workload.NginxConfig
+	var specs []TaskSpec
 	for _, cfg := range configs {
 		kernels, services := o.scaleCfg(cfg.k, cfg.s)
 		for _, n := range serverCounts {
-			ncfgs = append(ncfgs, workload.NginxConfig{Kernels: kernels, Services: services, Servers: n})
+			specs = append(specs, TaskSpec{
+				Experiment: "fig10",
+				Kind:       kindNginx,
+				Config:     ExpConfig{Kernels: kernels, Services: services, Instances: n},
+			})
 		}
 	}
-	full := make([]*workload.NginxResult, len(ncfgs))
-	tasks := make([]Task, len(ncfgs))
-	for i, nc := range ncfgs {
-		i, nc := i, nc
-		tasks[i] = Task{
-			Experiment: "fig10",
-			Config:     ExpConfig{Kernels: nc.Kernels, Services: nc.Services, Instances: nc.Servers},
-			Run: func(eng *sim.Engine) (Metrics, error) {
-				nc := nc
-				nc.Engine = eng
-				r, err := workload.RunNginx(nc)
-				if err != nil {
-					return Metrics{}, err
-				}
-				full[i] = r
-				return Metrics{Cycles: uint64(r.Duration), CapOps: r.TotalCapOps}, nil
-			},
-		}
-	}
-	rs := RunTasks(o.Parallel, tasks)
-	mustOK(rs)
+	rs := o.execute(specs)
 	res := Fig10Result{Title: "Figure 10: Scalability of the Nginx webserver"}
 	for ci := range configs {
-		s := NginxSeries{Label: fmt.Sprintf("%dK %dS", ncfgs[ci*len(serverCounts)].Kernels, ncfgs[ci*len(serverCounts)].Services)}
+		first := specs[ci*len(serverCounts)].Config
+		s := NginxSeries{Label: fmt.Sprintf("%dK %dS", first.Kernels, first.Services)}
 		for si, n := range serverCounts {
-			s.Points = append(s.Points, NginxPoint{Servers: n, ReqPerS: full[ci*len(serverCounts)+si].RequestsPerSecond()})
+			r := rs[ci*len(serverCounts)+si]
+			s.Points = append(s.Points, NginxPoint{
+				Servers: n,
+				ReqPerS: reqRate(auxOf[nginxAux](r).Requests, r.Metrics.Cycles),
+			})
 		}
 		res.Series = append(res.Series, s)
 	}
@@ -463,5 +505,3 @@ func parallelEfficiencyBand(o Options) (lo, hi float64) {
 	}
 	return lo, hi
 }
-
-var _ = core.CyclesPerSecond // keep core imported for conversions

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// Cost-aware scheduling. Task runtimes span orders of magnitude (a Table 3
+// microbenchmark is microseconds of host time, a 512-instance Table 4 cell
+// is minutes), so FIFO dispatch regularly parks the most expensive task
+// last and lets it serialize the whole sweep. The executors instead
+// dispatch longest-first, estimating each task from the recorded
+// wallclock_ns of a prior report when one is supplied (-costs) and falling
+// back to an instance-count heuristic otherwise. Scheduling only reorders
+// dispatch: results stay in spec order, so every simulated metric is
+// independent of the cost model.
+
+// costKey identifies a task across runs the same way bench-compare does:
+// by its (experiment, config) pair.
+type costKey struct {
+	experiment string
+	config     ExpConfig
+}
+
+// CostModel estimates per-task host cost for longest-first dispatch. The
+// zero value (and a nil *CostModel) falls back to the heuristic for every
+// task.
+type CostModel struct {
+	wall map[costKey]int64
+}
+
+// NewCostModel indexes the recorded wallclocks of a prior report. Keys that
+// appear several times (a baseline shared between figures) keep their
+// largest recording — an upper bound is the safe estimate for longest-first
+// scheduling.
+func NewCostModel(r *Report) *CostModel {
+	m := &CostModel{wall: make(map[costKey]int64, len(r.Results))}
+	for _, res := range r.Results {
+		k := costKey{res.Experiment, res.Config}
+		if res.WallclockNS > m.wall[k] {
+			m.wall[k] = res.WallclockNS
+		}
+	}
+	return m
+}
+
+// LoadCostModel reads a semperos-bench report file into a cost model.
+func LoadCostModel(path string) (*CostModel, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, ReportSchema)
+	}
+	return NewCostModel(&r), nil
+}
+
+// heuristicCost is the fallback estimate: simulation cost grows with the
+// machine size, so charge ~1ms of host time per simulated PE. The absolute
+// scale only matters when known and unknown tasks mix in one batch; the
+// prior keeps unknown large runs near their recorded peers instead of at
+// the back of the queue.
+func heuristicCost(spec TaskSpec) int64 {
+	pes := spec.Config.Instances + spec.Config.Kernels + spec.Config.Services
+	return int64(pes+1) * int64(time.Millisecond)
+}
+
+// Estimate returns the estimated host cost of one task in nanoseconds.
+// Works on a nil receiver (pure heuristic).
+func (c *CostModel) Estimate(spec TaskSpec) int64 {
+	if c != nil {
+		if ns, ok := c.wall[costKey{spec.Experiment, spec.Config}]; ok {
+			return ns
+		}
+	}
+	return heuristicCost(spec)
+}
+
+// Known reports how many of the specs have a recorded cost (for the
+// end-of-sweep diagnostics). Works on a nil receiver.
+func (c *CostModel) Known(specs []TaskSpec) int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range specs {
+		if _, ok := c.wall[costKey{s.Experiment, s.Config}]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Order returns the longest-first dispatch order of the specs, stable on
+// ties so scheduling is deterministic. Works on a nil receiver.
+func (c *CostModel) Order(specs []TaskSpec) []int {
+	order := make([]int, len(specs))
+	cost := make([]int64, len(specs))
+	for i, s := range specs {
+		order[i] = i
+		cost[i] = c.Estimate(s)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cost[order[a]] > cost[order[b]] })
+	return order
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
@@ -14,9 +15,12 @@ import (
 // The parallel experiment harness. Every experiment configuration of the
 // evaluation (one cell of Table 4, one point of Figures 6-9, one breadth of
 // the ablation, ...) is an independent simulation with its own sim.Engine,
-// so the sweeps are embarrassingly parallel: the harness fans tasks out over
-// a worker pool sized by GOMAXPROCS while keeping result ordering — and thus
-// every simulated-cycle metric — identical to a serial run.
+// so the sweeps are embarrassingly parallel: experiments plan their runs as
+// serializable TaskSpecs (spec.go), an executor — the in-process worker
+// pool here, or the multi-process ShardExecutor (shard.go) — fans them out,
+// and result ordering — and thus every simulated-cycle metric — stays
+// identical to a serial run. Task and RunTasks remain as the closure-based
+// escape hatch for callers outside the planned experiments.
 
 // ExpConfig identifies the machine configuration of one experiment. For
 // non-workload experiments the fields map to the closest notion (e.g. the
@@ -74,6 +78,12 @@ type Result struct {
 	Metrics     Metrics   `json:"metrics"`
 	WallclockNS int64     `json:"wallclock_ns"`
 	Error       string    `json:"error,omitempty"`
+	// Aux carries experiment-specific side data (a workload's makespan, an
+	// ablation's message count, ...) from the run function to the
+	// post-process step, across the worker protocol when the sweep is
+	// sharded. It is stripped before a Result enters the report, so the
+	// report layout is unchanged.
+	Aux json.RawMessage `json:"aux,omitempty"`
 }
 
 // RunTasks executes the tasks on a pool of `parallel` workers (<= 0 means
@@ -81,6 +91,15 @@ type Result struct {
 // completion order. A task that panics is captured as an error Result
 // instead of tearing down the whole sweep.
 func RunTasks(parallel int, tasks []Task) []Result {
+	return runTasksOrdered(parallel, tasks, nil)
+}
+
+// runTasksOrdered is the worker pool shared by both execution paths
+// (closure Tasks here, planned specs via RunSpecs). Dispatch follows order
+// (nil = task order; RunSpecs passes the cost model's longest-first order);
+// results always come back in task order regardless of dispatch or
+// completion order.
+func runTasksOrdered(parallel int, tasks []Task, order []int) []Result {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -100,8 +119,14 @@ func RunTasks(parallel int, tasks []Task) []Result {
 			}
 		}()
 	}
-	for i := range tasks {
-		idx <- i
+	if order == nil {
+		for i := range tasks {
+			idx <- i
+		}
+	} else {
+		for _, i := range order {
+			idx <- i
+		}
 	}
 	close(idx)
 	wg.Wait()
@@ -141,45 +166,77 @@ func mustOK(rs []Result) {
 	}
 }
 
-// runWorkloads executes one workload.Run per config on the harness pool and
-// returns the full results in config order, plus one harness Result per run
-// (Cycles = mean instance runtime, CapOps = total capability operations).
-// Callers may patch the Results (e.g. fill Efficiency) before recording
-// them. It panics on the first experiment error.
-func (o Options) runWorkloads(experiment string, cfgs []workload.Config) ([]*workload.Result, []Result) {
-	full := make([]*workload.Result, len(cfgs))
-	tasks := make([]Task, len(cfgs))
-	for i, cfg := range cfgs {
-		i, cfg := i, cfg
-		name := experiment
-		if cfg.Trace != nil {
-			name = experiment + "/" + cfg.Trace.Name
-		}
-		tasks[i] = Task{
-			Experiment: name,
-			Config:     ExpConfig{Kernels: cfg.Kernels, Services: cfg.Services, Instances: cfg.Instances},
-			Run: func(eng *sim.Engine) (Metrics, error) {
-				cfg := cfg
-				cfg.Engine = eng
-				r, err := workload.Run(cfg)
-				if err != nil {
-					return Metrics{}, err
-				}
-				full[i] = r
-				return Metrics{Cycles: uint64(r.MeanRuntime()), CapOps: r.TotalCapOps}, nil
-			},
-		}
-	}
-	rs := RunTasks(o.Parallel, tasks)
-	mustOK(rs)
-	return full, rs
+// kindWorkload runs one application workload (trace replay against m3fs
+// services); it backs Table 4 and Figures 6-9.
+const kindWorkload = "workload"
+
+// workloadAux is the side data of a workload run: the makespan, which
+// Table 4 needs (its headline cycle metric and the denominator of the
+// ops/s rate) while the efficiency sweeps do not.
+type workloadAux struct {
+	Makespan uint64 `json:"makespan"`
 }
 
-// record appends results to the report, when one is attached.
-func (o Options) record(rs []Result) {
-	if o.Report != nil {
-		o.Report.Add(rs...)
+func init() { registerKind(kindWorkload, runWorkloadSpec) }
+
+func runWorkloadSpec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
+	tr := trace.ByName(spec.Trace)
+	if tr == nil {
+		return Metrics{}, nil, fmt.Errorf("workload: unknown trace %q", spec.Trace)
 	}
+	r, err := workload.Run(workload.Config{
+		Kernels:   spec.Config.Kernels,
+		Services:  spec.Config.Services,
+		Instances: spec.Config.Instances,
+		Trace:     tr,
+		Engine:    eng,
+	})
+	if err != nil {
+		return Metrics{}, nil, err
+	}
+	m := Metrics{Cycles: uint64(r.MeanRuntime()), CapOps: r.TotalCapOps}
+	return m, workloadAux{Makespan: uint64(r.Makespan)}, nil
+}
+
+// workloadSpecs plans one kind-"workload" spec per config.
+func workloadSpecs(experiment string, cfgs []workload.Config) []TaskSpec {
+	specs := make([]TaskSpec, len(cfgs))
+	for i, cfg := range cfgs {
+		spec := TaskSpec{
+			Experiment: experiment,
+			Kind:       kindWorkload,
+			Config:     ExpConfig{Kernels: cfg.Kernels, Services: cfg.Services, Instances: cfg.Instances},
+		}
+		if cfg.Trace != nil {
+			spec.Experiment = experiment + "/" + cfg.Trace.Name
+			spec.Trace = cfg.Trace.Name
+		}
+		specs[i] = spec
+	}
+	return specs
+}
+
+// runWorkloads plans and executes one workload run per config, returning
+// one Result per run in config order (Cycles = mean instance runtime,
+// CapOps = total capability operations, Aux = workloadAux). Callers may
+// patch the Results (e.g. fill Efficiency) before recording them. It panics
+// on the first experiment error.
+func (o Options) runWorkloads(experiment string, cfgs []workload.Config) []Result {
+	return o.execute(workloadSpecs(experiment, cfgs))
+}
+
+// record appends results to the report, when one is attached, stripping the
+// post-processing Aux payloads so the report layout stays unchanged.
+func (o Options) record(rs []Result) {
+	if o.Report == nil {
+		return
+	}
+	clean := make([]Result, len(rs))
+	for i, r := range rs {
+		r.Aux = nil
+		clean[i] = r
+	}
+	o.Report.Add(clean...)
 }
 
 // sweepSpec describes one efficiency sweep: a 1-instance baseline plus one
@@ -206,7 +263,7 @@ func (o Options) runEffSweeps(experiment string, specs []sweepSpec) [][]EffPoint
 			cfgs = append(cfgs, workload.Config{Kernels: sp.kernels, Services: sp.services, Instances: n, Trace: sp.tr})
 		}
 	}
-	_, rs := o.runWorkloads(experiment, cfgs)
+	rs := o.runWorkloads(experiment, cfgs)
 	out := make([][]EffPoint, len(specs))
 	for si, sp := range specs {
 		base := offsets[si]

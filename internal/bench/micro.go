@@ -76,41 +76,58 @@ type Table3Result struct {
 	M3Revoke         sim.Duration
 }
 
+// kindTable3 runs one §5.2 exchange+revoke microbenchmark; the Variant
+// selects the machine (local, spanning, m3).
+const kindTable3 = "table3"
+
+// table3Aux carries the second measurement of the run: each task measures
+// both the exchange (Metrics.Cycles) and the revocation.
+type table3Aux struct {
+	Revoke uint64 `json:"revoke"`
+}
+
+func init() { registerKind(kindTable3, runTable3Spec) }
+
+func runTable3Spec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
+	var e, v sim.Duration
+	switch spec.Variant {
+	case "local", "spanning":
+		sys, a, b := buildPair(eng, spec.Variant == "spanning")
+		e, v = measureExchangeRevoke(sys, a, b)
+	case "m3":
+		m3sys := m3.MustNew(m3.Config{UserPEs: 4, Engine: eng})
+		e, v = measureExchangeRevoke(m3sys.System, 1, 2)
+	default:
+		return Metrics{}, nil, fmt.Errorf("table3: unknown variant %q", spec.Variant)
+	}
+	return Metrics{Cycles: uint64(e)}, table3Aux{Revoke: uint64(v)}, nil
+}
+
+// table3Specs plans the three microbenchmark machines.
+func table3Specs() []TaskSpec {
+	return []TaskSpec{
+		{Experiment: "table3/exchange-local", Kind: kindTable3, Variant: "local", Config: ExpConfig{Kernels: 2, Instances: 2}},
+		{Experiment: "table3/exchange-spanning", Kind: kindTable3, Variant: "spanning", Config: ExpConfig{Kernels: 2, Instances: 2}},
+		{Experiment: "table3/exchange-m3", Kind: kindTable3, Variant: "m3", Config: ExpConfig{Kernels: 1, Instances: 2}},
+	}
+}
+
 // Table3 measures exchange and revocation in the group-local and
 // group-spanning cases, for SemperOS and the M3 baseline. The three
 // systems are independent simulations and run in parallel.
 func Table3(o Options) Table3Result {
-	type pair struct{ exch, rev sim.Duration }
-	out := make([]pair, 3)
-	tasks := []Task{
-		{Experiment: "table3/exchange-local", Config: ExpConfig{Kernels: 2, Instances: 2}, Run: func(eng *sim.Engine) (Metrics, error) {
-			sys, a, b := buildPair(eng, false)
-			e, v := measureExchangeRevoke(sys, a, b)
-			out[0] = pair{e, v}
-			return Metrics{Cycles: uint64(e)}, nil
-		}},
-		{Experiment: "table3/exchange-spanning", Config: ExpConfig{Kernels: 2, Instances: 2}, Run: func(eng *sim.Engine) (Metrics, error) {
-			sys, a, b := buildPair(eng, true)
-			e, v := measureExchangeRevoke(sys, a, b)
-			out[1] = pair{e, v}
-			return Metrics{Cycles: uint64(e)}, nil
-		}},
-		{Experiment: "table3/exchange-m3", Config: ExpConfig{Kernels: 1, Instances: 2}, Run: func(eng *sim.Engine) (Metrics, error) {
-			m3sys := m3.MustNew(m3.Config{UserPEs: 4, Engine: eng})
-			e, v := measureExchangeRevoke(m3sys.System, 1, 2)
-			out[2] = pair{e, v}
-			return Metrics{Cycles: uint64(e)}, nil
-		}},
+	rs := o.execute(table3Specs())
+	revs := make([]uint64, len(rs))
+	for i := range rs {
+		revs[i] = auxOf[table3Aux](rs[i]).Revoke
 	}
-	rs := RunTasks(o.Parallel, tasks)
-	mustOK(rs)
 	// Each task measured two operations; mirror the revoke latencies as
 	// their own report entries.
 	names := []string{"table3/revoke-local", "table3/revoke-spanning", "table3/revoke-m3"}
 	for i, name := range names {
 		rev := rs[i]
 		rev.Experiment = name
-		rev.Metrics.Cycles = uint64(out[i].rev)
+		rev.Metrics.Cycles = revs[i]
 		// The task's wallclock covers both measurements; charging it again
 		// here would double-count it in the trajectory.
 		rev.WallclockNS = 0
@@ -118,12 +135,12 @@ func Table3(o Options) Table3Result {
 	}
 	o.record(rs)
 	return Table3Result{
-		ExchangeLocal:    out[0].exch,
-		RevokeLocal:      out[0].rev,
-		ExchangeSpanning: out[1].exch,
-		RevokeSpanning:   out[1].rev,
-		M3Exchange:       out[2].exch,
-		M3Revoke:         out[2].rev,
+		ExchangeLocal:    sim.Duration(rs[0].Metrics.Cycles),
+		RevokeLocal:      sim.Duration(revs[0]),
+		ExchangeSpanning: sim.Duration(rs[1].Metrics.Cycles),
+		RevokeSpanning:   sim.Duration(revs[1]),
+		M3Exchange:       sim.Duration(rs[2].Metrics.Cycles),
+		M3Revoke:         sim.Duration(revs[2]),
 	}
 }
 
@@ -229,36 +246,54 @@ func buildChainAndRevoke(sys *core.System, pes []int, length int, alternate bool
 	return revTime
 }
 
-// Fig4 measures chain revocation for chain lengths 0..maxLen (step 10).
-// Every (length, variant) cell builds its own system inside its task, so
-// the whole figure is one parallel batch.
-func Fig4(o Options, maxLen int) Fig4Result {
-	if maxLen <= 0 {
-		maxLen = 100
+// kindFig4 revokes one capability chain; Config.Instances is the chain
+// length, Arg the figure's max length (which sizes the machine identically
+// across all cells), Variant the machine (local, spanning, m3).
+const kindFig4 = "fig4"
+
+func init() { registerKind(kindFig4, runFig4Spec) }
+
+func runFig4Spec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
+	l, maxLen := spec.Config.Instances, spec.Arg
+	var c sim.Duration
+	switch spec.Variant {
+	case "local", "spanning":
+		sys := core.MustNew(core.Config{Kernels: 2, UserPEs: maxLen + 2, Engine: eng})
+		c = buildChainAndRevoke(sys, sys.UserPEs(), l, spec.Variant == "spanning")
+	case "m3":
+		m3sys := m3.MustNew(m3.Config{UserPEs: maxLen + 2, Engine: eng})
+		c = buildChainAndRevoke(m3sys.System, m3sys.UserPEs(), l, false)
+	default:
+		return Metrics{}, nil, fmt.Errorf("fig4: unknown variant %q", spec.Variant)
 	}
+	return Metrics{Cycles: uint64(c)}, nil, nil
+}
+
+// fig4Specs plans the (length, variant) grid.
+func fig4Specs(maxLen int) ([]TaskSpec, []int) {
 	var lengths []int
 	for l := 0; l <= maxLen; l += 10 {
 		lengths = append(lengths, l)
 	}
-	tasks := make([]Task, 0, 3*len(lengths))
+	specs := make([]TaskSpec, 0, 3*len(lengths))
 	for _, l := range lengths {
-		l := l
-		tasks = append(tasks,
-			Task{Experiment: "fig4/local", Config: ExpConfig{Kernels: 2, Instances: l}, Run: func(eng *sim.Engine) (Metrics, error) {
-				sys := core.MustNew(core.Config{Kernels: 2, UserPEs: maxLen + 2, Engine: eng})
-				return Metrics{Cycles: uint64(buildChainAndRevoke(sys, sys.UserPEs(), l, false))}, nil
-			}},
-			Task{Experiment: "fig4/spanning", Config: ExpConfig{Kernels: 2, Instances: l}, Run: func(eng *sim.Engine) (Metrics, error) {
-				sys := core.MustNew(core.Config{Kernels: 2, UserPEs: maxLen + 2, Engine: eng})
-				return Metrics{Cycles: uint64(buildChainAndRevoke(sys, sys.UserPEs(), l, true))}, nil
-			}},
-			Task{Experiment: "fig4/m3", Config: ExpConfig{Kernels: 1, Instances: l}, Run: func(eng *sim.Engine) (Metrics, error) {
-				m3sys := m3.MustNew(m3.Config{UserPEs: maxLen + 2, Engine: eng})
-				return Metrics{Cycles: uint64(buildChainAndRevoke(m3sys.System, m3sys.UserPEs(), l, false))}, nil
-			}})
+		specs = append(specs,
+			TaskSpec{Experiment: "fig4/local", Kind: kindFig4, Variant: "local", Config: ExpConfig{Kernels: 2, Instances: l}, Arg: maxLen},
+			TaskSpec{Experiment: "fig4/spanning", Kind: kindFig4, Variant: "spanning", Config: ExpConfig{Kernels: 2, Instances: l}, Arg: maxLen},
+			TaskSpec{Experiment: "fig4/m3", Kind: kindFig4, Variant: "m3", Config: ExpConfig{Kernels: 1, Instances: l}, Arg: maxLen})
 	}
-	rs := RunTasks(o.Parallel, tasks)
-	mustOK(rs)
+	return specs, lengths
+}
+
+// Fig4 measures chain revocation for chain lengths 0..maxLen (step 10).
+// Every (length, variant) cell builds its own system inside its task, so
+// the whole figure is one planned batch.
+func Fig4(o Options, maxLen int) Fig4Result {
+	if maxLen <= 0 {
+		maxLen = 100
+	}
+	specs, lengths := fig4Specs(maxLen)
+	rs := o.execute(specs)
 	r := Fig4Result{Lengths: lengths}
 	for i, l := range lengths {
 		r.LocalSemperOS = append(r.LocalSemperOS, ChainPoint{l, sim.Duration(rs[3*i].Metrics.Cycles)})
@@ -353,8 +388,34 @@ func buildTreeAndRevoke(eng *sim.Engine, n, extra int) sim.Duration {
 	return revTime
 }
 
+// kindFig5 revokes one capability tree; Config encodes the cell
+// (Kernels = 1+extra, Instances = child count).
+const kindFig5 = "fig5"
+
+func init() { registerKind(kindFig5, runFig5Spec) }
+
+func runFig5Spec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
+	n, extra := spec.Config.Instances, spec.Config.Kernels-1
+	return Metrics{Cycles: uint64(buildTreeAndRevoke(eng, n, extra))}, nil, nil
+}
+
+// fig5Specs plans the (spread, child-count) grid.
+func fig5Specs(counts, extras []int) []TaskSpec {
+	specs := make([]TaskSpec, 0, len(extras)*len(counts))
+	for _, extra := range extras {
+		for _, n := range counts {
+			specs = append(specs, TaskSpec{
+				Experiment: "fig5",
+				Kind:       kindFig5,
+				Config:     ExpConfig{Kernels: 1 + extra, Instances: n},
+			})
+		}
+	}
+	return specs
+}
+
 // Fig5 measures tree revocation for child counts 0..maxKids (step 16) and
-// kernel spreads 1+{0,1,4,8,12}, all cells in one parallel batch.
+// kernel spreads 1+{0,1,4,8,12}, all cells in one planned batch.
 func Fig5(o Options, maxKids int) Fig5Result {
 	if maxKids <= 0 {
 		maxKids = 128
@@ -364,21 +425,7 @@ func Fig5(o Options, maxKids int) Fig5Result {
 		r.Counts = append(r.Counts, n)
 	}
 	extras := []int{0, 1, 4, 8, 12}
-	var tasks []Task
-	for _, extra := range extras {
-		for _, n := range r.Counts {
-			extra, n := extra, n
-			tasks = append(tasks, Task{
-				Experiment: "fig5",
-				Config:     ExpConfig{Kernels: 1 + extra, Instances: n},
-				Run: func(eng *sim.Engine) (Metrics, error) {
-					return Metrics{Cycles: uint64(buildTreeAndRevoke(eng, n, extra))}, nil
-				},
-			})
-		}
-	}
-	rs := RunTasks(o.Parallel, tasks)
-	mustOK(rs)
+	rs := o.execute(fig5Specs(r.Counts, extras))
 	for ei, extra := range extras {
 		s := TreeSeries{ExtraKernels: extra}
 		for ni, n := range r.Counts {

@@ -2,9 +2,13 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 )
 
 // ReportSchema versions the JSON layout below. Bump it only for breaking
@@ -65,6 +69,55 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// WallclockSummary writes the sweep's host-time profile: the topN slowest
+// tasks and the per-experiment wall-clock totals (grouped by the experiment
+// name's top-level component, so fig6/tar and fig6/sqlite pool under fig6).
+// This is the visible input of the cost model: the slowest tasks are the
+// ones longest-first dispatch pulls to the front, and the totals show where
+// a sharded sweep's wall-clock goes.
+func (r *Report) WallclockSummary(w io.Writer, topN int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.Results) == 0 {
+		return
+	}
+	ms := func(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }
+
+	idx := make([]int, len(r.Results))
+	var total int64
+	for i, res := range r.Results {
+		idx[i] = i
+		total += res.WallclockNS
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return r.Results[idx[a]].WallclockNS > r.Results[idx[b]].WallclockNS
+	})
+	fmt.Fprintf(w, "Wall-clock summary: %d tasks, %.0fms of task time\n", len(r.Results), ms(total))
+	fmt.Fprintf(w, " slowest tasks:\n")
+	for i := 0; i < min(topN, len(idx)); i++ {
+		res := r.Results[idx[i]]
+		fmt.Fprintf(w, "  %10.1fms  %-24s %dK %dS %dI\n", ms(res.WallclockNS),
+			res.Experiment, res.Config.Kernels, res.Config.Services, res.Config.Instances)
+	}
+
+	groupTotal := map[string]int64{}
+	groupTasks := map[string]int{}
+	var groups []string
+	for _, res := range r.Results {
+		g, _, _ := strings.Cut(res.Experiment, "/")
+		if _, seen := groupTotal[g]; !seen {
+			groups = append(groups, g)
+		}
+		groupTotal[g] += res.WallclockNS
+		groupTasks[g]++
+	}
+	sort.SliceStable(groups, func(a, b int) bool { return groupTotal[groups[a]] > groupTotal[groups[b]] })
+	fmt.Fprintf(w, " per-experiment totals:\n")
+	for _, g := range groups {
+		fmt.Fprintf(w, "  %10.1fms  %-12s (%d tasks)\n", ms(groupTotal[g]), g, groupTasks[g])
+	}
 }
 
 // WriteFile writes the report to path (the BENCH_*.json trajectory point).

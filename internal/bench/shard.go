@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// The coordinator/worker protocol. `semperos-bench -shards N` re-execs
+// itself N times with the hidden -worker flag; each worker serves a
+// newline-delimited JSON request/response loop on stdin/stdout: the
+// coordinator streams one TaskSpec at a time (wireTask), the worker
+// executes it on its own engine pool and answers with the Result
+// (wireResult). One task is in flight per worker, so the shared
+// longest-first queue load-balances dynamically, and results are merged in
+// task order — the report, and every simulated metric in it, is
+// byte-identical to an in-process run. Workers persist across experiment
+// batches (their engine pools stay warm); a worker that dies fails only the
+// task in flight and is respawned for its next task.
+
+// wireTask is one coordinator→worker protocol line.
+type wireTask struct {
+	Seq  int      `json:"seq"`
+	Spec TaskSpec `json:"spec"`
+}
+
+// wireResult is one worker→coordinator protocol line.
+type wireResult struct {
+	Seq    int    `json:"seq"`
+	Result Result `json:"result"`
+}
+
+// RunWorker serves the shard worker protocol: TaskSpecs in on r, Results
+// out on w, one NDJSON object per line, until EOF. Task failures (panics,
+// experiment errors) travel inside the Result; RunWorker only returns a
+// non-nil error on a broken protocol stream. Nothing else may be written to
+// w: the coordinator owns the terminal.
+func RunWorker(r io.Reader, w io.Writer) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for {
+		var t wireTask
+		if err := dec.Decode(&t); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("bench worker: reading task: %w", err)
+		}
+		res := RunSpec(t.Spec)
+		if err := enc.Encode(wireResult{Seq: t.Seq, Result: res}); err != nil {
+			return fmt.Errorf("bench worker: writing result: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("bench worker: flushing result: %w", err)
+		}
+	}
+}
+
+// workerProc is one live worker subprocess with its protocol streams.
+type workerProc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	enc   *json.Encoder
+	dec   *json.Decoder
+	seq   int
+}
+
+// ShardExecutor executes spec batches on a fleet of worker subprocesses.
+type ShardExecutor struct {
+	// Shards is the worker-process count; each runs one task at a time, so
+	// -shards N is the multi-process analogue of -parallel N.
+	Shards int
+	// Argv is the worker command line (e.g. the semperos-bench binary plus
+	// "-worker"). Argv[0] is the executable path.
+	Argv []string
+	// ExtraEnv entries are appended to the inherited environment (tests use
+	// this to flip their own binary into worker mode).
+	ExtraEnv []string
+	// Costs drives longest-first dispatch; nil falls back to the
+	// instance-count heuristic.
+	Costs *CostModel
+	// Stderr receives the workers' stderr (default os.Stderr), so a worker
+	// crash is visible.
+	Stderr io.Writer
+
+	mu      sync.Mutex
+	workers []*workerProc
+}
+
+// start launches one worker subprocess.
+func (s *ShardExecutor) start() (*workerProc, error) {
+	if len(s.Argv) == 0 {
+		return nil, fmt.Errorf("bench: ShardExecutor has no worker command")
+	}
+	cmd := exec.Command(s.Argv[0], s.Argv[1:]...)
+	cmd.Env = append(os.Environ(), s.ExtraEnv...)
+	cmd.Stderr = s.Stderr
+	if cmd.Stderr == nil {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &workerProc{
+		cmd:   cmd,
+		stdin: stdin,
+		enc:   json.NewEncoder(stdin),
+		dec:   json.NewDecoder(bufio.NewReader(stdout)),
+	}, nil
+}
+
+// do runs one spec on the worker, synchronously.
+func (p *workerProc) do(spec TaskSpec) (Result, error) {
+	seq := p.seq
+	p.seq++
+	if err := p.enc.Encode(wireTask{Seq: seq, Spec: spec}); err != nil {
+		return Result{}, fmt.Errorf("sending task to worker: %w", err)
+	}
+	var wr wireResult
+	if err := p.dec.Decode(&wr); err != nil {
+		return Result{}, fmt.Errorf("reading result from worker: %w", err)
+	}
+	if wr.Seq != seq {
+		return Result{}, fmt.Errorf("worker answered seq %d, want %d", wr.Seq, seq)
+	}
+	return wr.Result, nil
+}
+
+// stop closes the worker's stdin (the protocol's EOF) and reaps it.
+func (p *workerProc) stop() {
+	p.stdin.Close()
+	p.cmd.Wait()
+}
+
+// kill tears a broken worker down without waiting for a clean exit.
+func (p *workerProc) kill() {
+	p.stdin.Close()
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+	p.cmd.Wait()
+}
+
+// Execute fans the specs out over the worker fleet, dispatching
+// longest-first from one shared queue (one task in flight per worker, so an
+// idle worker always takes the most expensive remaining task), and returns
+// the results in spec order. Workers are started lazily on the first batch
+// and reused across batches. A worker failure fails only the task in
+// flight: the slot respawns its process for the next task it draws, and
+// tasks it draws while respawn keeps failing become error Results — the
+// surviving workers keep the rest of the batch alive either way.
+func (s *ShardExecutor) Execute(specs []TaskSpec) []Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	shards := max(s.Shards, 1)
+	if s.workers == nil {
+		s.workers = make([]*workerProc, shards)
+	}
+	results := make([]Result, len(specs))
+	idx := make(chan int)
+	go func() {
+		for _, i := range s.Costs.Order(specs) {
+			idx <- i
+		}
+		close(idx)
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fail := func(i int, err error) {
+				results[i] = Result{
+					Experiment: specs[i].Experiment,
+					Config:     specs[i].Config,
+					Error:      fmt.Sprintf("shard %d: %v", w, err),
+				}
+			}
+			for i := range idx {
+				if s.workers[w] == nil {
+					p, err := s.start()
+					if err != nil {
+						fail(i, err)
+						continue
+					}
+					s.workers[w] = p
+				}
+				res, err := s.workers[w].do(specs[i])
+				if err != nil {
+					// The worker broke mid-task: fail this task, tear the
+					// process down and respawn on the next one.
+					s.workers[w].kill()
+					s.workers[w] = nil
+					fail(i, err)
+					continue
+				}
+				results[i] = res
+			}
+		}(w)
+	}
+	wg.Wait()
+	return results
+}
+
+// Close shuts the worker fleet down (EOF on stdin, reap). The executor can
+// be reused afterwards: the next Execute restarts workers on demand.
+func (s *ShardExecutor) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, p := range s.workers {
+		if p != nil {
+			p.stop()
+			s.workers[i] = nil
+		}
+	}
+	s.workers = nil
+}
