@@ -8,6 +8,7 @@
 //	semperos-bench -experiment fig6 -quick      # reduced scale
 //	semperos-bench -quick -parallel 4 -json out.json
 //	semperos-bench -quick -shards 4 -costs BENCH_quick.json
+//	semperos-bench -quick -simworkers 2 -json out.json   # partitioned engine
 //
 // Experiments: table3, fig4, fig5, table4, fig6, fig7, fig8, fig9, fig10,
 // ablation. Every experiment plans its runs as serializable task specs and
@@ -56,6 +57,7 @@ func realMain() int {
 	parallel := flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS); ignored with -shards")
 	shards := flag.Int("shards", 0, "execute the sweep on N worker processes (0 = in-process)")
 	costs := flag.String("costs", "", "prior report JSON whose wallclocks seed longest-first dispatch (default: instance-count heuristic)")
+	simworkers := flag.Int("simworkers", 0, "partition each simulation's event queue into min(N, kernels) per-kernel-block domains (0/1 = sequential engine); all simulated metrics stay byte-identical")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the sweep) to this file")
@@ -71,6 +73,21 @@ func realMain() int {
 			return 1
 		}
 		return 0
+	}
+
+	// Flag hygiene: sizes must be non-negative, and -parallel is meaningless
+	// under -shards (the shard count sets the process-level parallelism).
+	for _, f := range []struct {
+		name  string
+		value int
+	}{{"-parallel", *parallel}, {"-shards", *shards}, {"-simworkers", *simworkers}} {
+		if f.value < 0 {
+			fmt.Fprintf(os.Stderr, "%s must be non-negative (got %d)\n", f.name, f.value)
+			return 2
+		}
+	}
+	if *parallel != 0 && *shards > 0 {
+		fmt.Fprintf(os.Stderr, "warning: -parallel %d is ignored with -shards %d (each worker process runs its tasks serially)\n", *parallel, *shards)
 	}
 
 	valid := map[string]bool{"all": true}
@@ -124,6 +141,7 @@ func realMain() int {
 		opts = bench.Quick()
 	}
 	opts.Parallel = *parallel
+	opts.SimWorkers = *simworkers
 	if *costs != "" {
 		model, err := bench.LoadCostModel(*costs)
 		if err != nil {
@@ -152,6 +170,9 @@ func realMain() int {
 		workers = *shards
 	}
 	report := bench.NewReport(*quick, workers)
+	if *simworkers > 1 {
+		report.SimWorkers = *simworkers
+	}
 	opts.Report = report
 
 	all := want["all"]

@@ -35,7 +35,7 @@ type AblationResult struct {
 // ablationTreeRevoke builds a root with n children over 1+extra kernels and
 // measures revoking it, returning the duration and total inter-kernel
 // messages.
-func ablationTreeRevoke(eng *sim.Engine, n, extra int, batching bool) (sim.Duration, uint64) {
+func ablationTreeRevoke(eng *sim.Engine, n, extra int, batching bool, simWorkers int) (sim.Duration, uint64) {
 	kernels := extra + 1
 	perGroup := n + 1
 	if extra > 0 {
@@ -46,6 +46,7 @@ func ablationTreeRevoke(eng *sim.Engine, n, extra int, batching bool) (sim.Durat
 		UserPEs:        kernels * perGroup,
 		RevokeBatching: batching,
 		Engine:         eng,
+		SimWorkers:     simWorkers,
 	})
 	defer sys.Close()
 	byGroup := make(map[int][]int)
@@ -121,7 +122,7 @@ func init() { registerKind(kindAblationRevoke, runAblationRevokeSpec) }
 
 func runAblationRevokeSpec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
 	n, extra := spec.Config.Instances, spec.Config.Kernels-1
-	c, m := ablationTreeRevoke(eng, n, extra, spec.Variant == "batched")
+	c, m := ablationTreeRevoke(eng, n, extra, spec.Variant == "batched", spec.SimWorkers)
 	return Metrics{Cycles: uint64(c)}, ablationAux{Msgs: m}, nil
 }
 
@@ -219,7 +220,7 @@ func ikcWireMsgs(sys *core.System) (req, rep uint64) {
 
 // ablationIKCSystem builds the fan-out machine: the owner/service group
 // plus `extra` client groups, n clients spread round-robin over them.
-func ablationIKCSystem(eng *sim.Engine, n, extra int, pol core.IKCBatching) (*core.System, []int) {
+func ablationIKCSystem(eng *sim.Engine, n, extra int, pol core.IKCBatching, simWorkers int) (*core.System, []int) {
 	kernels := extra + 1
 	perGroup := n + 2
 	if extra > 0 {
@@ -230,6 +231,7 @@ func ablationIKCSystem(eng *sim.Engine, n, extra int, pol core.IKCBatching) (*co
 		UserPEs:     kernels * perGroup,
 		IKCBatching: pol,
 		Engine:      eng,
+		SimWorkers:  simWorkers,
 	})
 	byGroup := make(map[int][]int)
 	for _, pe := range sys.UserPEs() {
@@ -250,8 +252,8 @@ func ablationIKCSystem(eng *sim.Engine, n, extra int, pol core.IKCBatching) (*co
 // ablationExchange measures n spanning obtains of one root capability,
 // returning the fan-out makespan and the inter-kernel wire messages by
 // direction.
-func ablationExchange(eng *sim.Engine, n, extra int, batched bool) (sim.Duration, uint64, uint64) {
-	sys, pes := ablationIKCSystem(eng, n, extra, core.IKCBatching{Exchange: batched})
+func ablationExchange(eng *sim.Engine, n, extra int, batched bool, simWorkers int) (sim.Duration, uint64, uint64) {
+	sys, pes := ablationIKCSystem(eng, n, extra, core.IKCBatching{Exchange: batched}, simWorkers)
 	defer sys.Close()
 	ready := sim.NewFuture[cap.Selector](sys.Eng)
 	var t0 sim.Time
@@ -290,8 +292,8 @@ func ablationExchange(eng *sim.Engine, n, extra int, batched bool) (sim.Duration
 // ablationSvcQuery measures n clients each opening a session to one
 // service and performing one session-scoped obtain, returning the fan-out
 // makespan and the inter-kernel wire messages by direction.
-func ablationSvcQuery(eng *sim.Engine, n, extra int, batched bool) (sim.Duration, uint64, uint64) {
-	sys, pes := ablationIKCSystem(eng, n, extra, core.IKCBatching{ServiceQuery: batched})
+func ablationSvcQuery(eng *sim.Engine, n, extra int, batched bool, simWorkers int) (sim.Duration, uint64, uint64) {
+	sys, pes := ablationIKCSystem(eng, n, extra, core.IKCBatching{ServiceQuery: batched}, simWorkers)
 	defer sys.Close()
 	svcReady := sim.NewFuture[struct{}](sys.Eng)
 	var t0 sim.Time
@@ -363,9 +365,9 @@ func runIKCSpec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
 	var req, rep uint64
 	switch spec.Kind {
 	case kindIKCExchange:
-		c, req, rep = ablationExchange(eng, n, extra, batched)
+		c, req, rep = ablationExchange(eng, n, extra, batched, spec.SimWorkers)
 	case kindIKCSvcQuery:
-		c, req, rep = ablationSvcQuery(eng, n, extra, batched)
+		c, req, rep = ablationSvcQuery(eng, n, extra, batched, spec.SimWorkers)
 	default:
 		return Metrics{}, nil, fmt.Errorf("ikc ablation: unknown kind %q", spec.Kind)
 	}

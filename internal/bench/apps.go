@@ -37,6 +37,11 @@ type Options struct {
 	// prior report; nil falls back to the instance-count heuristic. Only
 	// wallclock changes.
 	Costs *CostModel
+	// SimWorkers partitions each experiment's event queue per kernel block
+	// (see core.Config.SimWorkers), stamped onto every planned spec. All
+	// simulated metrics are byte-identical at any setting; partitioned runs
+	// additionally report per-domain busy/idle (Result.Domains).
+	SimWorkers int
 }
 
 // Full returns the paper-scale options.

@@ -84,6 +84,20 @@ type Result struct {
 	// sharded. It is stripped before a Result enters the report, so the
 	// report layout is unchanged.
 	Aux json.RawMessage `json:"aux,omitempty"`
+	// Domains is the per-domain busy/idle attribution of a partitioned run
+	// (TaskSpec.SimWorkers > 1 on a multi-kernel machine); omitted on the
+	// sequential fast path. Like WallclockNS it varies run to run, so
+	// determinism comparisons must ignore it.
+	Domains []DomainWallclock `json:"domains,omitempty"`
+}
+
+// DomainWallclock is one event domain's share of a partitioned run: how long
+// the run loop spent executing this domain's events (busy), the remainder of
+// the run's wallclock (idle), and the deterministic event count.
+type DomainWallclock struct {
+	BusyNS int64  `json:"busy_ns"`
+	IdleNS int64  `json:"idle_ns"`
+	Events uint64 `json:"events"`
 }
 
 // RunTasks executes the tasks on a pool of `parallel` workers (<= 0 means
@@ -148,6 +162,16 @@ func runTask(t Task) (res Result) {
 		}
 	}()
 	m, err := t.Run(eng)
+	if ds := eng.DomainStats(); len(ds) > 1 {
+		res.Domains = make([]DomainWallclock, len(ds))
+		for i, d := range ds {
+			res.Domains[i] = DomainWallclock{
+				BusyNS: d.Busy.Nanoseconds(),
+				IdleNS: d.Idle.Nanoseconds(),
+				Events: d.Events,
+			}
+		}
+	}
 	if err != nil {
 		res.Error = err.Error()
 		return res
@@ -185,11 +209,12 @@ func runWorkloadSpec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
 		return Metrics{}, nil, fmt.Errorf("workload: unknown trace %q", spec.Trace)
 	}
 	r, err := workload.Run(workload.Config{
-		Kernels:   spec.Config.Kernels,
-		Services:  spec.Config.Services,
-		Instances: spec.Config.Instances,
-		Trace:     tr,
-		Engine:    eng,
+		Kernels:    spec.Config.Kernels,
+		Services:   spec.Config.Services,
+		Instances:  spec.Config.Instances,
+		Trace:      tr,
+		Engine:     eng,
+		SimWorkers: spec.SimWorkers,
 	})
 	if err != nil {
 		return Metrics{}, nil, err

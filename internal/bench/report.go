@@ -36,10 +36,14 @@ const ReportSchema = "semperos-bench/v1"
 type Report struct {
 	mu sync.Mutex
 
-	Schema   string   `json:"schema"`
-	Quick    bool     `json:"quick"`
-	Parallel int      `json:"parallel"`
-	Results  []Result `json:"results"`
+	Schema   string `json:"schema"`
+	Quick    bool   `json:"quick"`
+	Parallel int    `json:"parallel"`
+	// SimWorkers records the run's event-queue partitioning (see
+	// Options.SimWorkers); omitted when the run used the sequential engine.
+	// Optional addition, schema unchanged.
+	SimWorkers int      `json:"simworkers,omitempty"`
+	Results    []Result `json:"results"`
 }
 
 // NewReport returns an empty report carrying the run's settings.
@@ -117,6 +121,33 @@ func (r *Report) WallclockSummary(w io.Writer, topN int) {
 	fmt.Fprintf(w, " per-experiment totals:\n")
 	for _, g := range groups {
 		fmt.Fprintf(w, "  %10.1fms  %-12s (%d tasks)\n", ms(groupTotal[g]), g, groupTasks[g])
+	}
+
+	// Partitioned runs: aggregate the per-domain busy/idle attribution over
+	// all tasks that ran with a partitioned engine, so a sweep shows where
+	// its event work concentrated (domain 0 hosts kernel 0 and with it the
+	// memory PEs and the service directory, so skew is expected).
+	domBusy, domIdle := map[int]int64{}, map[int]int64{}
+	domEvents := map[int]uint64{}
+	maxDom, partitioned := 0, 0
+	for _, res := range r.Results {
+		if len(res.Domains) == 0 {
+			continue
+		}
+		partitioned++
+		for d, dw := range res.Domains {
+			domBusy[d] += dw.BusyNS
+			domIdle[d] += dw.IdleNS
+			domEvents[d] += dw.Events
+			maxDom = max(maxDom, d)
+		}
+	}
+	if partitioned > 0 {
+		fmt.Fprintf(w, " per-domain busy/idle (%d partitioned tasks):\n", partitioned)
+		for d := 0; d <= maxDom; d++ {
+			fmt.Fprintf(w, "  domain %d: %10.1fms busy %10.1fms idle  %d events\n",
+				d, ms(domBusy[d]), ms(domIdle[d]), domEvents[d])
+		}
 	}
 }
 

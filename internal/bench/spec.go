@@ -34,6 +34,11 @@ type TaskSpec struct {
 	// Arg is a kind-specific scalar (fig4: the figure's max chain length,
 	// which sizes the machine identically across all its cells).
 	Arg int `json:"arg,omitempty"`
+	// SimWorkers partitions each run's event queue per kernel block (see
+	// core.Config.SimWorkers). It travels with the spec so sharded workers
+	// apply the same partitioning; simulated metrics are byte-identical at
+	// any setting.
+	SimWorkers int `json:"simworkers,omitempty"`
 }
 
 // kindFunc executes one spec on a fresh-state engine. The second return is
@@ -125,6 +130,11 @@ type Executor interface {
 // execute runs the plan on the configured executor and fail-fasts on the
 // first task error, preserving the historical behavior of the sweeps.
 func (o Options) execute(specs []TaskSpec) []Result {
+	if o.SimWorkers > 1 {
+		for i := range specs {
+			specs[i].SimWorkers = o.SimWorkers
+		}
+	}
 	var rs []Result
 	if o.Executor != nil {
 		rs = o.Executor.Execute(specs)

@@ -68,6 +68,7 @@ type Kernel struct {
 	id     int
 	pe     int
 	sys    *System
+	dom    *sim.Domain // event domain this kernel's procs run on
 	dtu    *dtu.DTU
 	store  *cap.Store
 	gen    *ddl.Generator
@@ -107,6 +108,7 @@ func newKernel(s *System, id int) *Kernel {
 		id:                 id,
 		pe:                 id,
 		sys:                s,
+		dom:                s.domainOfKernel(id),
 		dtu:                s.Fab.DTU(id),
 		store:              cap.NewStore(),
 		gen:                ddl.NewGenerator(),
@@ -209,7 +211,7 @@ func (pl *pool) submit(job func(p *sim.Proc)) {
 	if pl.q.Waiters() == 0 && pl.spawned < pl.max {
 		pl.spawned++
 		name := fmt.Sprintf("k%d/%s%d", pl.k.id, pl.name, pl.spawned)
-		pl.k.sys.Eng.Spawn(name, func(p *sim.Proc) {
+		pl.k.dom.Spawn(name, func(p *sim.Proc) {
 			for {
 				j := pl.q.Pop(p)
 				j(p)

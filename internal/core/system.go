@@ -47,6 +47,18 @@ type Config struct {
 	// time, sequence and event counters at zero and not killed. The bench
 	// harness uses this to recycle pooled engines across experiments.
 	Engine *sim.Engine
+	// SimWorkers partitions the simulation's event queue into
+	// min(SimWorkers, Kernels) domains — one per contiguous block of
+	// kernels, each kernel owning its PE group — with the NoC's minimum
+	// cross-PE latency as the lookahead bound. The kernel model has
+	// zero-lookahead cross-domain edges (see DESIGN.md: instantaneous
+	// in-flight credit returns, shared service directory and DRAM
+	// allocator), so the engine runs the domains through the
+	// order-preserving merged loop: every simulated metric stays
+	// byte-identical to the sequential engine at any setting, and the
+	// partitioning yields per-domain busy/idle attribution
+	// (sim.Engine.DomainStats). 0 or 1 keeps the sequential fast path.
+	SimWorkers int
 }
 
 // batchingPolicy resolves the effective transport policy: the deprecated
@@ -104,6 +116,10 @@ type System struct {
 	memPEs  []int
 	vpes    []*VPE
 	peToVPE []*VPE
+	// doms, when SimWorkers partitions the engine, maps domain id to handle;
+	// nil on the sequential fast path. kernelDom maps kernel id to domain.
+	doms      []*sim.Domain
+	kernelDom []*sim.Domain
 
 	services map[string]*serviceEntry
 	dramNext []uint64
@@ -153,6 +169,29 @@ func NewSystem(cfg Config) (*System, error) {
 		services: make(map[string]*serviceEntry),
 		dramNext: make([]uint64, cfg.MemPEs),
 	}
+	// Partition the event queue per NoC domain: contiguous blocks of
+	// kernels (with their PE groups) map onto min(SimWorkers, Kernels)
+	// domains, and the network's minimum cross-PE latency becomes the
+	// engine's lookahead bound. See Config.SimWorkers for why the kernel
+	// model runs these domains in the order-preserving merged mode.
+	if d := min(cfg.SimWorkers, cfg.Kernels); d > 1 {
+		s.doms = make([]*sim.Domain, d)
+		s.doms[0] = eng.Domain(0)
+		for i := 1; i < d; i++ {
+			s.doms[i] = eng.NewDomain()
+		}
+		s.kernelDom = make([]*sim.Domain, cfg.Kernels)
+		for k := 0; k < cfg.Kernels; k++ {
+			s.kernelDom[k] = s.doms[k*d/cfg.Kernels]
+		}
+		nodeDoms := make([]*sim.Domain, nodes)
+		for pe := range nodeDoms {
+			nodeDoms[pe] = s.kernelDom[s.kernelIDOfNode(pe)]
+		}
+		net.BindDomains(nodeDoms)
+		eng.SetLookahead(net.MinLatency())
+		eng.SetWorkers(cfg.SimWorkers)
+	}
 	// Kernel PEs.
 	for k := 0; k < cfg.Kernels; k++ {
 		fab.Add(k, 0)
@@ -179,6 +218,34 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	return s, nil
 }
+
+// kernelIDOfNode returns the kernel managing a PE purely from the config's
+// static numbering (kernels, then user PEs in contiguous groups, then memory
+// PEs owned by kernel 0). NewSystem needs this before Membership is
+// populated; the Assign calls below follow the same formula.
+func (s *System) kernelIDOfNode(pe int) int {
+	switch {
+	case pe < s.cfg.Kernels:
+		return pe
+	case pe < s.cfg.Kernels+s.cfg.UserPEs:
+		return (pe - s.cfg.Kernels) * s.cfg.Kernels / s.cfg.UserPEs
+	default:
+		return 0
+	}
+}
+
+// domainOfKernel returns the event domain kernel k runs on: its assigned
+// domain when the engine is partitioned, the root domain otherwise.
+func (s *System) domainOfKernel(k int) *sim.Domain {
+	if s.kernelDom == nil {
+		return s.Eng.Domain(0)
+	}
+	return s.kernelDom[k]
+}
+
+// DomainStats exposes the engine's per-domain busy/idle attribution; nil on
+// the sequential fast path.
+func (s *System) DomainStats() []sim.DomainStat { return s.Eng.DomainStats() }
 
 // MustNew is NewSystem for tests and examples where the config is constant.
 func MustNew(cfg Config) *System {

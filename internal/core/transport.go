@@ -374,7 +374,7 @@ func (t *transport) timerFire(key qkey, epoch uint64) {
 	}
 	if !t.spawned {
 		t.spawned = true
-		t.k.sys.Eng.Spawn(fmt.Sprintf("k%d/xmit", t.k.id), func(p *sim.Proc) {
+		t.k.dom.Spawn(fmt.Sprintf("k%d/xmit", t.k.id), func(p *sim.Proc) {
 			for {
 				ref := t.flushQ.Pop(p)
 				t.flushFrom(p, ref)

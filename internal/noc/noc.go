@@ -80,6 +80,10 @@ type Network struct {
 	// linkFree is the next-free time per directed link (contention mode).
 	linkFree map[int]sim.Time
 	stats    Stats
+	// domains, when bound, routes each delivery onto the destination node's
+	// event domain (conservative PDES partitioning, see internal/sim). Nil
+	// means all deliveries use the engine's current lane, as before.
+	domains []*sim.Domain
 }
 
 // New creates a mesh network for cfg.Nodes PEs.
@@ -129,6 +133,27 @@ func (n *Network) Hops(src, dst int) int {
 	return abs(sx-dx) + abs(sy-dy)
 }
 
+// MinLatency returns the minimum latency of any cross-PE message (src !=
+// dst: at least one hop, at least one flit), regardless of size or
+// contention — contention and the per-pair FIFO clamp only ever delay
+// delivery further. This is the network's lookahead bound for conservative
+// parallel simulation: an event on one PE cannot affect another PE sooner
+// than MinLatency cycles, as all cross-PE interaction goes through Send.
+func (n *Network) MinLatency() sim.Duration {
+	return n.cfg.BaseLatency + n.cfg.HopLatency + n.cfg.RouterLatency + n.cfg.FlitLatency
+}
+
+// BindDomains attaches a per-node event-domain table (indexed by PE id):
+// from then on every delivery is scheduled onto the destination node's
+// domain lane, so a partitioned engine attributes and — for isolated
+// domains — parallelizes it correctly. The table must cover all nodes.
+func (n *Network) BindDomains(domains []*sim.Domain) {
+	if len(domains) < n.cfg.Nodes {
+		panic(fmt.Sprintf("noc: BindDomains table covers %d of %d nodes", len(domains), n.cfg.Nodes))
+	}
+	n.domains = domains
+}
+
 // Latency returns the uncontended latency for a message of the given size.
 func (n *Network) Latency(src, dst, size int) sim.Duration {
 	hops := sim.Duration(n.Hops(src, dst))
@@ -160,6 +185,10 @@ func (n *Network) Send(src, dst, size int, deliver func()) {
 		arrival = last
 	}
 	n.lastDeliver[key] = arrival
+	if n.domains != nil {
+		n.domains[dst].At(arrival, deliver)
+		return
+	}
 	n.eng.At(arrival, deliver)
 }
 

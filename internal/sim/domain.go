@@ -1,0 +1,548 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Conservative parallel discrete-event simulation (PDES).
+//
+// The engine's pending-event store is partitioned into Domains, each with its
+// own heap + same-instant FIFO lane (the two-lane layout documented in
+// engine.go). A fresh engine has exactly one domain — the root — and all the
+// sequential entry points run on it unchanged. NewDomain adds partitions;
+// from then on the engine runs in one of two modes:
+//
+//   - Merged (the default, and the only mode RunUntil/Step/RunCtx use): the
+//     run loop pops the globally minimal (time, seq) event across all domain
+//     lanes. Sequence numbers stay engine-global, so the execution order —
+//     and every simulated metric — is byte-identical to the single-lane
+//     engine no matter how events are distributed over domains. What the
+//     partitioning buys here is attribution: per-domain busy/idle wallclock
+//     and event counts (DomainStats), i.e. the load-balance picture a truly
+//     concurrent run would see.
+//
+//   - Isolated rounds (Run, when SetIsolated(true) and a positive lookahead
+//     are configured): the classic conservative-PDES execution. Domains must
+//     be mutually isolated — a domain's events may only touch that domain's
+//     state and procs — except for Post, which crosses domains through
+//     single-writer mailboxes. Run proceeds in barrier-synchronous rounds on
+//     a bounded worker pool: each round computes the horizon
+//
+//	horizon = min(next pending timestamp over all domains) + lookahead
+//
+//     dispatches every domain with events below the horizon to a worker,
+//     waits for all of them (the barrier), then delivers the posts buffered
+//     during the round into the destination lanes.
+//
+// Why isolated rounds are deterministic at any worker count: within a round
+// a domain executes only its own lane, in (time, domain-local seq) order —
+// no other goroutine touches it. Cross-domain posts are appended to
+// inbox[src] by the source domain's worker (single writer per slot) and
+// drained at the barrier in (source id, append position) order, receiving
+// fresh destination sequence numbers — an order independent of which worker
+// ran what when. Worker count therefore changes wallclock only.
+//
+// Why the lookahead makes the horizon safe: a post created at source time
+// τ carries delay d >= lookahead, so it lands at τ + d >= gmin + lookahead =
+// horizon (every event executed this round has τ >= gmin), strictly after
+// any timestamp a destination can reach within the round. Delivering posts
+// at the barrier can therefore never schedule into a domain's past. Posts
+// with d < lookahead panic.
+
+// Domain is one partition of the engine's event store: a heap + FIFO lane
+// pair, the procs spawned into it, and — during isolated rounds — a local
+// clock and per-source mailboxes. Domain 0 (the root) always exists; see
+// Engine.NewDomain.
+type Domain struct {
+	eng      *Engine
+	id       int
+	heap     []event
+	fifo     []event
+	fifoHead int
+	// procs registers this domain's spawned procs so Kill can wake them to
+	// unwind. Single-writer during isolated rounds: only the domain's own
+	// worker spawns here.
+	procs []*Proc
+	// Isolated-rounds state: the domain-local clock and sequence counter.
+	// Merged-mode execution uses the engine-global now/seq instead.
+	rnow    Time
+	rseq    uint64
+	inRound bool
+	// inbox[src] buffers cross-domain posts from domain src during a round;
+	// src's worker is the only writer until the barrier drains it.
+	inbox [][]post
+	// Wallclock accounting, filled by the multi-domain run loops.
+	busy   time.Duration
+	events uint64
+}
+
+// post is one cross-domain event in a mailbox: the absolute delivery time
+// and the callback. The destination sequence number is assigned at the
+// barrier, when the mailbox is drained.
+type post struct {
+	at Time
+	fn func()
+}
+
+// DomainStat is one domain's share of a multi-domain run: wallclock spent
+// executing its events (Busy), wallclock the run spent elsewhere (Idle — in
+// merged mode the serialization cost a concurrent run would reclaim, in
+// isolated mode barrier wait), and the events executed. Wallclock quantities
+// vary run to run; Events is deterministic.
+type DomainStat struct {
+	Busy   time.Duration
+	Idle   time.Duration
+	Events uint64
+}
+
+// NewDomain adds a partition and returns its handle. The root domain (id 0)
+// exists from the start; the first NewDomain call flips the engine from the
+// sequential fast path to the merged multi-domain run loop. Must be called
+// from the engine side, not during a run.
+func (e *Engine) NewDomain() *Domain {
+	if e.doms == nil {
+		e.doms = append(e.doms, &e.root)
+	}
+	dm := &Domain{eng: e, id: len(e.doms)}
+	e.doms = append(e.doms, dm)
+	return dm
+}
+
+// Domains returns the number of domains (1 for a fresh engine).
+func (e *Engine) Domains() int {
+	if e.doms == nil {
+		return 1
+	}
+	return len(e.doms)
+}
+
+// Domain returns domain i; Domain(0) is the root and always exists.
+func (e *Engine) Domain(i int) *Domain {
+	if e.doms == nil {
+		if i != 0 {
+			panic(fmt.Sprintf("sim: domain %d does not exist", i))
+		}
+		return &e.root
+	}
+	return e.doms[i]
+}
+
+// SetWorkers bounds the worker pool of isolated-rounds runs (clamped to the
+// domain count at Run; values below 1 mean 1). Merged-mode execution is
+// inherently serial, so workers do not affect it.
+func (e *Engine) SetWorkers(n int) { e.workers = n }
+
+// SetLookahead sets the minimum virtual-time distance of cross-domain posts
+// and the horizon slack of isolated rounds. A NoC-backed model uses the
+// network's minimum cross-PE latency (noc.Network.MinLatency).
+func (e *Engine) SetLookahead(d Duration) { e.lookahead = d }
+
+// Lookahead returns the configured lookahead bound.
+func (e *Engine) Lookahead() Duration { return e.lookahead }
+
+// SetIsolated declares that domains are mutually isolated (no shared state,
+// no cross-domain access except Post), which lets Run advance them
+// concurrently in barrier-synchronous rounds. With isolated unset — or with
+// one domain, or zero lookahead — Run uses the order-preserving merged loop.
+func (e *Engine) SetIsolated(iso bool) { e.isolated = iso }
+
+// DomainStats returns per-domain busy/idle wallclock and event counts of the
+// multi-domain run loops, indexed by domain id. It returns nil while the
+// engine is on the sequential fast path (no partitioning, nothing measured).
+func (e *Engine) DomainStats() []DomainStat {
+	if e.doms == nil {
+		return nil
+	}
+	out := make([]DomainStat, len(e.doms))
+	for i, dm := range e.doms {
+		idle := e.runWall - dm.busy
+		if idle < 0 {
+			idle = 0
+		}
+		out[i] = DomainStat{Busy: dm.busy, Idle: idle, Events: dm.events}
+	}
+	return out
+}
+
+// ID returns the domain's id (its index in the engine).
+func (dm *Domain) ID() int { return dm.id }
+
+// Now returns the domain's current virtual time: the domain-local clock
+// while executing an isolated round, the engine-global clock otherwise.
+func (dm *Domain) Now() Time {
+	if dm.inRound {
+		return dm.rnow
+	}
+	return dm.eng.now
+}
+
+// Schedule runs fn after d cycles on this domain's lane. Outside isolated
+// rounds it uses the engine-global clock and sequence counter, so merged
+// execution keeps the exact (time, seq) total order; inside a round it uses
+// the domain-local clocks and must only be called by the domain's own
+// worker (its executing events and procs).
+func (dm *Domain) Schedule(d Duration, fn func()) {
+	e := dm.eng
+	if e.killed {
+		return
+	}
+	if dm.inRound {
+		dm.rseq++
+		if d == 0 {
+			dm.fifo = append(dm.fifo, event{at: dm.rnow, seq: dm.rseq, fn: fn})
+			return
+		}
+		dm.heapPush(event{at: dm.rnow + d, seq: dm.rseq, fn: fn})
+		return
+	}
+	e.seq++
+	if d == 0 {
+		dm.fifo = append(dm.fifo, event{at: e.now, seq: e.seq, fn: fn})
+		return
+	}
+	dm.heapPush(event{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+// At runs fn at absolute time t on this domain's lane. Scheduling in the
+// past panics, like Engine.At.
+func (dm *Domain) At(t Time, fn func()) {
+	now := dm.Now()
+	if t < now {
+		panic(fmt.Sprintf("sim: At(%d) is in the past (now=%d)", t, now))
+	}
+	dm.Schedule(t-now, fn)
+}
+
+// Post schedules fn on domain dst after d cycles. Outside isolated rounds it
+// is a plain cross-lane Schedule (merged execution orders it exactly).
+// During a round it appends to the single-writer mailbox inbox[dm.id] of
+// dst, delivered at the barrier; d must be at least the lookahead, or the
+// horizon could not have been safe — violating posts panic.
+func (dm *Domain) Post(dst *Domain, d Duration, fn func()) {
+	e := dm.eng
+	if e.killed {
+		return
+	}
+	if dst == dm || !dm.inRound {
+		dst.Schedule(d, fn)
+		return
+	}
+	if d < e.lookahead {
+		panic(fmt.Sprintf("sim: cross-domain post with delay %d below the lookahead %d", d, e.lookahead))
+	}
+	dst.inbox[dm.id] = append(dst.inbox[dm.id], post{at: dm.rnow + d, fn: fn})
+}
+
+// heapPush inserts ev into the domain's 4-ary heap (sift-up with a hole, one
+// final store instead of swaps).
+func (dm *Domain) heapPush(ev event) {
+	h := append(dm.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(&ev, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	dm.heap = h
+}
+
+// heapPop removes and returns the heap minimum (sift-down with a hole).
+func (dm *Domain) heapPop() event {
+	h := dm.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release the closure
+	h = h[:n]
+	dm.heap = h
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			min := c
+			for j := c + 1; j < end; j++ {
+				if eventLess(&h[j], &h[min]) {
+					min = j
+				}
+			}
+			if !eventLess(&h[min], &last) {
+				break
+			}
+			h[i] = h[min]
+			i = min
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// peek returns the domain's next event in (at, seq) order without removing
+// it. now is the clock the lane runs against (engine-global in merged mode,
+// domain-local in a round): lane events carry at == now, and a heap event at
+// the same instant has a lower seq — it wins (see the Engine doc).
+func (dm *Domain) peek(now Time) (event, bool) {
+	if dm.fifoHead < len(dm.fifo) {
+		if len(dm.heap) > 0 && dm.heap[0].at == now {
+			return dm.heap[0], true
+		}
+		return dm.fifo[dm.fifoHead], true
+	}
+	if len(dm.heap) > 0 {
+		return dm.heap[0], true
+	}
+	return event{}, false
+}
+
+// pop removes and returns the domain's next event in (at, seq) order.
+func (dm *Domain) pop(now Time) event {
+	if dm.fifoHead < len(dm.fifo) {
+		if len(dm.heap) > 0 && dm.heap[0].at == now {
+			return dm.heapPop()
+		}
+		ev := dm.fifo[dm.fifoHead]
+		dm.fifo[dm.fifoHead].fn = nil // release the closure
+		dm.fifoHead++
+		if dm.fifoHead == len(dm.fifo) {
+			// Lane drained: rewind so the backing array is reused.
+			dm.fifo = dm.fifo[:0]
+			dm.fifoHead = 0
+		}
+		return ev
+	}
+	return dm.heapPop()
+}
+
+// pending returns the number of queued events, mailboxes included.
+func (dm *Domain) pending() int {
+	n := len(dm.heap) + len(dm.fifo) - dm.fifoHead
+	for _, box := range dm.inbox {
+		n += len(box)
+	}
+	return n
+}
+
+// drain empties the lanes and mailboxes, releasing closures but keeping the
+// backing arrays for pooled reuse.
+func (dm *Domain) drain() {
+	clear(dm.heap)
+	dm.heap = dm.heap[:0]
+	clear(dm.fifo)
+	dm.fifo = dm.fifo[:0]
+	dm.fifoHead = 0
+	for i := range dm.inbox {
+		clear(dm.inbox[i])
+		dm.inbox[i] = dm.inbox[i][:0]
+	}
+}
+
+// killProcs wakes this domain's live procs so they unwind (see Engine.Kill).
+func (dm *Domain) killProcs() {
+	for i, p := range dm.procs {
+		if !p.dead.Load() {
+			p.resume <- struct{}{}
+		}
+		dm.procs[i] = nil
+	}
+	dm.procs = dm.procs[:0]
+}
+
+// minDomain returns the domain holding the globally minimal (at, seq) event,
+// or nil if every lane is empty — the merged run loop's selector.
+func (e *Engine) minDomain() *Domain {
+	var best *Domain
+	var bev event
+	for _, dm := range e.doms {
+		ev, ok := dm.peek(e.now)
+		if !ok {
+			continue
+		}
+		if best == nil || eventLess(&ev, &bev) {
+			best, bev = dm, ev
+		}
+	}
+	return best
+}
+
+// runMerged is the multi-domain order-preserving run loop: pop the global
+// (at, seq) minimum across lanes, execute it with e.cur set to its domain
+// (so context-free Schedule calls land on the executing domain's lane), and
+// attribute wallclock to domains at switch points.
+func (e *Engine) runMerged(t Time) {
+	start := time.Now()
+	last := e.cur
+	mark := start
+	for {
+		dm := e.minDomain()
+		if dm == nil {
+			break
+		}
+		ev, _ := dm.peek(e.now)
+		if ev.at > t {
+			break
+		}
+		if dm != last {
+			now := time.Now()
+			last.busy += now.Sub(mark)
+			mark, last = now, dm
+		}
+		e.cur = dm
+		dm.events++
+		e.runEvent(dm.pop(e.now))
+	}
+	end := time.Now()
+	last.busy += end.Sub(mark)
+	e.runWall += end.Sub(start)
+}
+
+// roundResult is one worker's report for one dispatched round slice.
+type roundResult struct {
+	dom      *Domain
+	executed uint64
+	fault    error
+}
+
+// runIsolated executes the isolated domains to completion in
+// barrier-synchronous rounds on a bounded worker pool. See the package
+// comment at the top of this file for the horizon and determinism argument.
+func (e *Engine) runIsolated() {
+	D := len(e.doms)
+	workers := min(e.workers, D)
+	if workers < 1 {
+		workers = 1
+	}
+	for _, dm := range e.doms {
+		dm.rnow = e.now
+		dm.rseq = e.seq
+		for len(dm.inbox) < D {
+			dm.inbox = append(dm.inbox, nil)
+		}
+	}
+	work := make(chan *Domain, D)
+	done := make(chan roundResult, D)
+	for w := 0; w < workers; w++ {
+		go e.domainWorker(work, done)
+	}
+	defer close(work)
+	// Engine-level scheduling has no defined lane while domains run
+	// concurrently; a nil cur turns it into a contract-violation panic.
+	e.cur = nil
+	defer func() { e.cur = &e.root }()
+	start := time.Now()
+	defer func() { e.runWall += time.Since(start) }()
+	for {
+		// Deliver the previous round's posts: source-major, append order,
+		// fresh destination seqs — deterministic regardless of workers. The
+		// lookahead guarantees at > dst.rnow, so these are heap events.
+		for _, dst := range e.doms {
+			for src := range dst.inbox {
+				box := dst.inbox[src]
+				for i := range box {
+					dst.rseq++
+					dst.heapPush(event{at: box[i].at, seq: dst.rseq, fn: box[i].fn})
+					box[i].fn = nil
+				}
+				dst.inbox[src] = box[:0]
+			}
+		}
+		gmin, any := Time(0), false
+		for _, dm := range e.doms {
+			if ev, ok := dm.peek(dm.rnow); ok && (!any || ev.at < gmin) {
+				gmin, any = ev.at, true
+			}
+		}
+		if !any {
+			break
+		}
+		e.horizon = gmin + e.lookahead
+		n := 0
+		for _, dm := range e.doms {
+			if ev, ok := dm.peek(dm.rnow); ok && ev.at < e.horizon {
+				n++
+				work <- dm
+			}
+		}
+		var fault error
+		faultDom := -1
+		for i := 0; i < n; i++ {
+			r := <-done
+			e.executed += r.executed
+			if r.fault != nil && (faultDom < 0 || r.dom.id < faultDom) {
+				fault, faultDom = r.fault, r.dom.id
+			}
+		}
+		// Faults surface on the driving goroutine after the barrier, so they
+		// are recoverable by callers and deterministic: when several domains
+		// fault in one round, the lowest domain id wins.
+		if fault != nil {
+			panic(fault)
+		}
+		if e.limit != 0 && e.executed > e.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded (possible livelock)", e.limit))
+		}
+	}
+	// Advance the global clocks past everything the rounds executed, so a
+	// later merged run (or Kill-time diagnostics) sees consistent time.
+	for _, dm := range e.doms {
+		if dm.rnow > e.now {
+			e.now = dm.rnow
+		}
+		if dm.rseq > e.seq {
+			e.seq = dm.rseq
+		}
+	}
+}
+
+// domainWorker executes round slices handed to it until the work channel
+// closes, measuring per-domain busy wallclock.
+func (e *Engine) domainWorker(work chan *Domain, done chan roundResult) {
+	for dm := range work {
+		r := roundResult{dom: dm}
+		start := time.Now()
+		r.executed, r.fault = dm.runRound(e.horizon)
+		dm.busy += time.Since(start)
+		done <- r
+	}
+}
+
+// runRound executes this domain's events with timestamps strictly below the
+// horizon, advancing the domain-local clock. A panic (including a proc fault
+// re-raised by step) is captured and reported to the driver.
+func (dm *Domain) runRound(horizon Time) (n uint64, fault error) {
+	defer func() {
+		dm.inRound = false
+		dm.events += n
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok {
+				fault = fmt.Errorf("sim: domain %d: %w", dm.id, err)
+			} else {
+				fault = fmt.Errorf("sim: domain %d: %v", dm.id, r)
+			}
+		}
+	}()
+	dm.inRound = true
+	for {
+		ev, ok := dm.peek(dm.rnow)
+		if !ok || ev.at >= horizon {
+			return n, nil
+		}
+		if ev.at < dm.rnow {
+			panic("sim: domain event queue went backwards")
+		}
+		ev = dm.pop(dm.rnow)
+		dm.rnow = ev.at
+		ev.fn()
+		n++
+	}
+}

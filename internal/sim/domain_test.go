@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildIsolated wires a D-domain engine for isolated rounds with the given
+// lookahead and worker bound.
+func buildIsolated(domains int, lookahead Duration, workers int) (*Engine, []*Domain) {
+	e := NewEngine()
+	doms := make([]*Domain, domains)
+	for i := 1; i < domains; i++ {
+		doms[i] = e.NewDomain()
+	}
+	doms[0] = e.Domain(0)
+	e.SetIsolated(true)
+	e.SetLookahead(lookahead)
+	e.SetWorkers(workers)
+	return e, doms
+}
+
+// ringTrace runs a deterministic multi-domain workload — every domain runs a
+// local event cascade and posts tokens around the ring — and returns the
+// per-domain execution traces as (local time, token) pairs. Per-domain
+// traces are single-writer during rounds, so collecting them is race-free.
+func ringTrace(domains, workers int, hops int) [][][2]uint64 {
+	const L = Duration(7)
+	e, doms := buildIsolated(domains, L, workers)
+	traces := make([][][2]uint64, domains)
+	var hop func(dst int, token uint64)
+	hop = func(dst int, token uint64) {
+		dm := doms[dst]
+		traces[dst] = append(traces[dst], [2]uint64{uint64(dm.Now()), token})
+		// Local cascade: a same-instant lane event plus a short heap event,
+		// exercising both lanes against the domain-local clock.
+		dm.Schedule(0, func() {
+			traces[dst] = append(traces[dst], [2]uint64{uint64(dm.Now()), token | 1<<32})
+		})
+		dm.Schedule(2, func() {
+			traces[dst] = append(traces[dst], [2]uint64{uint64(dm.Now()), token | 2<<32})
+		})
+		if int(token) < hops {
+			dm.Post(doms[(dst+1)%domains], L, func() { hop((dst+1)%domains, token+1) })
+		}
+	}
+	for d := range doms {
+		d := d
+		doms[d].Schedule(Duration(d+1), func() { hop(d, 0) })
+	}
+	e.Run()
+	return traces
+}
+
+// TestIsolatedRoundsDeterminism: the isolated-rounds acceptance criterion —
+// the execution traces are identical at every worker count (1, 2, 4),
+// including the domain-local timestamps.
+func TestIsolatedRoundsDeterminism(t *testing.T) {
+	for _, domains := range []int{2, 4} {
+		base := ringTrace(domains, 1, 40)
+		for _, workers := range []int{2, 4} {
+			got := ringTrace(domains, workers, 40)
+			for d := range base {
+				if len(got[d]) != len(base[d]) {
+					t.Fatalf("domains %d workers %d: domain %d trace length %d, want %d",
+						domains, workers, d, len(got[d]), len(base[d]))
+				}
+				for i := range base[d] {
+					if got[d][i] != base[d][i] {
+						t.Fatalf("domains %d workers %d: domain %d diverges at %d: %v vs %v",
+							domains, workers, d, i, got[d][i], base[d][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIsolatedMatchesMerged: the same ring workload executed merged (isolated
+// unset — the order-preserving loop) produces the same per-domain event
+// counts, and Pending drains to zero either way.
+func TestIsolatedMatchesMerged(t *testing.T) {
+	const L = Duration(7)
+	run := func(isolated bool) []uint64 {
+		e, doms := buildIsolated(3, L, 2)
+		e.SetIsolated(isolated)
+		var hop func(dst int, token int)
+		hop = func(dst int, token int) {
+			if token < 30 {
+				doms[dst].Post(doms[(dst+1)%3], L, func() { hop((dst+1)%3, token+1) })
+			}
+		}
+		doms[0].Schedule(1, func() { hop(0, 0) })
+		e.Run()
+		if e.Pending() != 0 {
+			t.Fatalf("isolated=%v: %d events left pending", isolated, e.Pending())
+		}
+		counts := make([]uint64, 3)
+		for i, st := range e.DomainStats() {
+			counts[i] = st.Events
+		}
+		return counts
+	}
+	iso, merged := run(true), run(false)
+	for d := range iso {
+		if iso[d] != merged[d] {
+			t.Fatalf("domain %d executed %d events isolated, %d merged", d, iso[d], merged[d])
+		}
+	}
+}
+
+// TestIsolatedProcs: procs spawned on isolated domains (Domain.Spawn) sleep
+// and finish under concurrent rounds, with the domain-local clock visible
+// through Proc.Now.
+func TestIsolatedProcs(t *testing.T) {
+	e, doms := buildIsolated(4, 5, 4)
+	ends := make([]Time, 4)
+	for d := range doms {
+		d := d
+		doms[d].Spawn("p", func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Sleep(3)
+			}
+			ends[d] = p.Now()
+		})
+	}
+	e.Run()
+	for d, end := range ends {
+		if end != 30 {
+			t.Fatalf("domain %d proc finished at %d, want 30", d, end)
+		}
+	}
+	if e.Now() < 30 {
+		t.Fatalf("global clock %d did not advance past the rounds", e.Now())
+	}
+}
+
+// TestPostBelowLookaheadPanics: a cross-domain post with a delay below the
+// lookahead would break the horizon-safety argument, so it must panic (the
+// fault surfaces from Run on the driving goroutine).
+func TestPostBelowLookaheadPanics(t *testing.T) {
+	e, doms := buildIsolated(2, 10, 2)
+	doms[0].Schedule(1, func() {
+		doms[0].Post(doms[1], 9, func() {})
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("post below the lookahead did not panic")
+		}
+		if msg, ok := r.(error); !ok || !strings.Contains(msg.Error(), "below the lookahead") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	e.Run()
+}
+
+// TestEngineScheduleDuringRoundsPanics: context-free Engine.Schedule has no
+// defined lane while domains run concurrently; it must fail loudly instead
+// of corrupting a lane.
+func TestEngineScheduleDuringRoundsPanics(t *testing.T) {
+	e, doms := buildIsolated(2, 5, 2)
+	doms[1].Schedule(1, func() {
+		e.Schedule(1, func() {})
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Engine.Schedule during isolated rounds did not panic")
+		}
+		if err, ok := r.(error); !ok || !strings.Contains(err.Error(), "isolated rounds") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	e.Run()
+}
+
+// TestDomainStats: event counts are exact and deterministic; busy/idle cover
+// the run loop's wallclock without going negative.
+func TestDomainStats(t *testing.T) {
+	e, doms := buildIsolated(2, 5, 2)
+	for i := 0; i < 8; i++ {
+		doms[i%2].Schedule(Duration(i+1), func() {})
+	}
+	e.Run()
+	st := e.DomainStats()
+	if len(st) != 2 {
+		t.Fatalf("DomainStats has %d entries, want 2", len(st))
+	}
+	if st[0].Events != 4 || st[1].Events != 4 {
+		t.Fatalf("event counts = %d/%d, want 4/4", st[0].Events, st[1].Events)
+	}
+	for d, s := range st {
+		if s.Busy < 0 || s.Idle < 0 {
+			t.Fatalf("domain %d has negative wallclock: %+v", d, s)
+		}
+	}
+	if NewEngine().DomainStats() != nil {
+		t.Fatal("sequential engine reports DomainStats")
+	}
+}
+
+// TestResetDropsDomains: a recycled engine starts sequential again — extra
+// domains gone, the root lane usable, Schedule back on the fast path.
+func TestResetDropsDomains(t *testing.T) {
+	e, doms := buildIsolated(3, 5, 2)
+	doms[2].Post(doms[0], 5, func() {})
+	doms[1].Schedule(3, func() {})
+	e.Reset()
+	if e.Domains() != 1 {
+		t.Fatalf("Domains() = %d after Reset, want 1", e.Domains())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Reset", e.Pending())
+	}
+	ran := false
+	e.Schedule(2, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 2 {
+		t.Fatalf("recycled engine broken: ran=%v now=%d", ran, e.Now())
+	}
+}

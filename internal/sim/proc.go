@@ -7,8 +7,10 @@ import (
 
 // Proc is a cooperative simulation process: a goroutine that runs under
 // strict handoff with the engine. At any instant at most one goroutine (the
-// engine or exactly one proc) executes, so simulations remain deterministic
-// while protocol code can block naturally via Sleep, Park, or Future.Wait.
+// engine or exactly one proc) executes — per domain: during isolated rounds
+// each domain's worker drives its own procs, which is safe because isolated
+// domains share no state — so simulations remain deterministic while
+// protocol code can block naturally via Sleep, Park, or Future.Wait.
 //
 // Procs must only interact with the engine (Schedule, Wake, ...) from within
 // their own body or from event handlers; the package is not safe for use
@@ -23,8 +25,15 @@ import (
 // every live proc via its resume channel, and waitResume checks the killed
 // flag after every wakeup.
 type Proc struct {
-	eng    *Engine
-	name   string
+	eng  *Engine
+	dom  *Domain
+	name string
+	// fault carries a panic out of the proc goroutine to the engine side,
+	// where step re-raises it on the goroutine driving the proc's domain
+	// (and therefore recoverable by callers such as the bench harness). It
+	// is per-proc, not per-engine, so domains faulting concurrently during
+	// isolated rounds never share it.
+	fault  error
 	resume chan struct{} // capacity 1: engine -> proc "go"
 	parked chan struct{} // capacity 1: proc -> engine "back to you"
 	// stepFn is p.step bound once at Spawn. Taking the method value inline
@@ -39,13 +48,26 @@ type Proc struct {
 // killed is the panic value used to unwind a proc when its engine is killed.
 type killed struct{}
 
-// Spawn creates a proc running fn, starting at the current virtual time
+// Spawn creates a proc running fn on the currently executing domain (the
+// root domain when only one exists), starting at the current virtual time
 // (after already-queued events at this timestamp). The name is used in
-// diagnostics only. Spawning on a killed engine returns an already-dead
-// proc whose body never runs.
+// diagnostics only. Spawning on a killed engine returns an already-dead proc
+// whose body never runs. During isolated rounds use Domain.Spawn.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	if e.cur == nil {
+		panic("sim: Engine.Spawn during isolated rounds (use Domain.Spawn)")
+	}
+	return e.cur.Spawn(name, fn)
+}
+
+// Spawn creates a proc running fn on this domain: its handoff events ride
+// the domain's lane, and Sleep/Wake/Yield route back to it. During isolated
+// rounds it must only be called by the domain's own worker.
+func (dm *Domain) Spawn(name string, fn func(p *Proc)) *Proc {
+	e := dm.eng
 	p := &Proc{
 		eng:    e,
+		dom:    dm,
 		name:   name,
 		resume: make(chan struct{}, 1),
 		parked: make(chan struct{}, 1),
@@ -55,14 +77,14 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		p.dead.Store(true)
 		return p
 	}
-	e.allProcs = append(e.allProcs, p)
+	dm.procs = append(dm.procs, p)
 	e.procs.Add(1)
 	e.unwound.Add(1)
 	// The goroutine starts immediately but blocks in waitResume until the
 	// scheduled handoff below (or until Kill wakes it to unwind, even if
 	// that handoff never runs because the engine was killed first).
 	go p.top(fn)
-	e.Schedule(0, p.stepFn)
+	dm.Schedule(0, p.stepFn)
 	return p
 }
 
@@ -80,12 +102,12 @@ func (p *Proc) top(fn func(p *Proc)) {
 				return
 			}
 			// Real panic in simulation code: hand it to the engine side,
-			// which re-raises it on the goroutine driving the simulation —
-			// recoverable by callers (e.g. the bench harness captures it as
-			// a failed experiment) — instead of crashing the process from
+			// which re-raises it on the goroutine driving the proc's domain
+			// — recoverable by callers (e.g. the bench harness captures it
+			// as a failed experiment) — instead of crashing the process from
 			// this goroutine. A real panic implies the proc was running,
 			// so an engine-side step() is blocked on parked.
-			p.eng.fault = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+			p.fault = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
 		}
 		p.parked <- struct{}{}
 	}()
@@ -103,8 +125,8 @@ func (p *Proc) step() {
 	}
 	p.resume <- struct{}{}
 	<-p.parked
-	if f := p.eng.fault; f != nil {
-		p.eng.fault = nil
+	if f := p.fault; f != nil {
+		p.fault = nil
 		panic(f)
 	}
 }
@@ -137,12 +159,16 @@ func (p *Proc) Name() string { return p.name }
 // Engine returns the engine this proc runs on.
 func (p *Proc) Engine() *Engine { return p.eng }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.eng.Now() }
+// Domain returns the domain this proc runs on.
+func (p *Proc) Domain() *Domain { return p.dom }
+
+// Now returns the current virtual time (the proc's domain clock, so it is
+// correct during isolated rounds too).
+func (p *Proc) Now() Time { return p.dom.Now() }
 
 // Sleep blocks the proc for d cycles of virtual time.
 func (p *Proc) Sleep(d Duration) {
-	p.eng.Schedule(d, p.stepFn)
+	p.dom.Schedule(d, p.stepFn)
 	p.park()
 }
 
@@ -155,15 +181,17 @@ func (p *Proc) Yield() { p.Sleep(0) }
 // this way and never woken leaks until Engine.Kill.
 func (p *Proc) Park() { p.park() }
 
-// Wake schedules the proc to resume at the current virtual time. It must be
-// called from the engine side or from another proc; waking an unparked or
-// dead proc is a bug and will desynchronize the handoff protocol, so callers
-// must track parked state (Future and Semaphore do this for you).
+// Wake schedules the proc to resume at the current virtual time, on the
+// proc's own domain lane. It must be called from the engine side or from
+// another proc; waking an unparked or dead proc is a bug and will
+// desynchronize the handoff protocol, so callers must track parked state
+// (Future and Semaphore do this for you). During isolated rounds only the
+// proc's own domain may wake it.
 func (p *Proc) Wake() {
-	p.eng.Schedule(0, p.stepFn)
+	p.dom.Schedule(0, p.stepFn)
 }
 
 // WakeAfter schedules the proc to resume after d cycles.
 func (p *Proc) WakeAfter(d Duration) {
-	p.eng.Schedule(d, p.stepFn)
+	p.dom.Schedule(d, p.stepFn)
 }

@@ -26,6 +26,9 @@ type Config struct {
 	// kills the engine on return), so it must not be shared across Runs
 	// without a Reset in between.
 	Engine *sim.Engine
+	// SimWorkers partitions the engine's event queue per kernel block; see
+	// core.Config.SimWorkers. Metrics are byte-identical at any setting.
+	SimWorkers int
 }
 
 // Result aggregates one experiment run.
@@ -157,11 +160,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	userPEs := cfg.Services + cfg.Instances
 	sys, err := core.NewSystem(core.Config{
-		Kernels:  cfg.Kernels,
-		UserPEs:  userPEs,
-		MemPEs:   1 + cfg.Services/8,
-		MemBytes: 1 << 40, // accounting only; backing is lazily allocated
-		Engine:   cfg.Engine,
+		Kernels:    cfg.Kernels,
+		UserPEs:    userPEs,
+		MemPEs:     1 + cfg.Services/8,
+		MemBytes:   1 << 40, // accounting only; backing is lazily allocated
+		Engine:     cfg.Engine,
+		SimWorkers: cfg.SimWorkers,
 	})
 	if err != nil {
 		return nil, err
