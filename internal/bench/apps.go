@@ -42,6 +42,10 @@ type Options struct {
 	// simulated metrics are byte-identical at any setting; partitioned runs
 	// additionally report per-domain busy/idle (Result.Domains).
 	SimWorkers int
+	// FaultSeed seeds the deterministic fault injector of the faults
+	// experiment (-faultseed); 0 means seed 1. Identical seeds give
+	// byte-identical faulty runs at any -parallel/-shards/-simworkers.
+	FaultSeed uint64
 }
 
 // Full returns the paper-scale options.

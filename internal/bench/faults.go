@@ -1,0 +1,359 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cap"
+	"repro/internal/core"
+	"repro/internal/dtu"
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// Fault-injection ablation (`-experiment faults`). The reliability layer
+// (core/reliability.go) exists so the capability protocols survive a lossy
+// fabric; this experiment measures *how well*: the spanning fan-out
+// workloads of the transport ablation run under seeded fault plans
+// (internal/fault) sweeping drop rates, plus a kernel-crash scenario, and
+// report completion rate, retransmissions, duplicate suppressions and
+// recovery latency. Everything is deterministic in (seed, plan): reruns at
+// any -parallel/-shards/-simworkers produce byte-identical rows.
+
+// faultsRates is the drop-rate axis in basis points (0.00%, 0.25%, 1%,
+// 4%). The zero row runs reliable mode on a lossless fabric: losses are
+// zero and completion 100%, so it isolates the cost of the reliability
+// machinery itself — including the spurious RTO retransmits a fixed
+// timeout fires under fan-out queueing delay, which the receiver-side
+// dedup absorbs (that is the Retries floor the faulty rows build on).
+var faultsRates = []int{0, 25, 100, 400}
+
+// faultsCrashAt is the crash time of the crash scenario, chosen to land
+// mid-fan-out (after the victims connected, before the fan-out drains).
+const faultsCrashAt sim.Time = 100_000
+
+// faultsPlan builds the sweep's plan for one drop rate: duplication at
+// half the drop rate and a fixed small delivery jitter ride along, so one
+// knob exercises all three probabilistic fault types.
+func faultsPlan(seed uint64, dropBp int) *fault.Plan {
+	return &fault.Plan{
+		Seed:   seed,
+		Drop:   float64(dropBp) / 10_000,
+		Dup:    float64(dropBp) / 20_000,
+		Jitter: 200,
+	}
+}
+
+// faultsAux is the side data of one faults run: the full reliability and
+// injection picture behind the report row's headline columns.
+type faultsAux struct {
+	Attempted       int    `json:"attempted"`
+	Succeeded       int    `json:"succeeded"`
+	Retransmits     uint64 `json:"retransmits"`
+	DupSuppressed   uint64 `json:"dupsuppressed"`
+	ReplayedReplies uint64 `json:"replayedreplies"`
+	LateReplies     uint64 `json:"latereplies"`
+	FailFast        uint64 `json:"failfast"`
+	DeadPeers       uint64 `json:"deadpeers"`
+	Recovered       uint64 `json:"recovered"`
+	// MeanRecoveryCycles is the average first-send→completion time of
+	// transmissions that needed at least one retransmit.
+	MeanRecoveryCycles uint64 `json:"meanrecovery"`
+	InjDropped         uint64 `json:"injdropped"`
+	InjDuplicated      uint64 `json:"injduplicated"`
+	InjDelayed         uint64 `json:"injdelayed"`
+	InjBlackholed      uint64 `json:"injblackholed"`
+}
+
+// faultsSystem builds the fan-out machine of the transport ablation with a
+// fault plan attached (both IKC batching families on, so envelopes and
+// their retransmission path are exercised).
+func faultsSystem(eng *sim.Engine, n, extra int, plan *fault.Plan, simWorkers int) (*core.System, []int) {
+	kernels := extra + 1
+	perGroup := n + 2
+	if extra > 0 {
+		perGroup = (n+extra-1)/extra + 2
+	}
+	sys := core.MustNew(core.Config{
+		Kernels:     kernels,
+		UserPEs:     kernels * perGroup,
+		IKCBatching: core.IKCBatching{Exchange: true, ServiceQuery: true},
+		Faults:      plan,
+		Engine:      eng,
+		SimWorkers:  simWorkers,
+	})
+	byGroup := make(map[int][]int)
+	for _, pe := range sys.UserPEs() {
+		g := sys.KernelOfPE(pe).ID()
+		byGroup[g] = append(byGroup[g], pe)
+	}
+	clientPEs := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		g := 0
+		if extra > 0 {
+			g = 1 + i%extra
+		}
+		clientPEs = append(clientPEs, byGroup[g][1+i/max(extra, 1)])
+	}
+	return sys, append([]int{byGroup[0][0]}, clientPEs...)
+}
+
+// faultsExchange is the error-tolerant spanning-obtain fan-out: n clients
+// obtain one root capability across a faulty fabric. Unlike the ablation's
+// panic-on-error clients, a failed obtain (e.g. ErrPeerDead after the
+// owner kernel is declared dead) counts as a failed operation — the run
+// completes either way, which is exactly the degradation contract under
+// test.
+func faultsExchange(eng *sim.Engine, n, extra int, plan *fault.Plan, simWorkers int) (*core.System, sim.Duration, int, int) {
+	sys, pes := faultsSystem(eng, n, extra, plan, simWorkers)
+	ready := sim.NewFuture[cap.Selector](sys.Eng)
+	var t0, end sim.Time
+	var okOps int
+	var wg sim.WaitGroup
+	wg.Add(n)
+	root, err := sys.SpawnOn(pes[0], "root", func(v *core.VPE, p *sim.Proc) {
+		sel, err := v.AllocMem(p, 4096, dtu.PermRW)
+		if err != nil {
+			panic(err) // local to the owner kernel; never faulted
+		}
+		t0 = p.Now()
+		ready.Complete(sel)
+		wg.Wait(p)
+		end = p.Now()
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := sys.SpawnOn(pes[1+i], fmt.Sprintf("c%d", i), func(v *core.VPE, p *sim.Proc) {
+			sel := ready.Wait(p)
+			if _, err := v.ObtainFrom(p, root.ID, sel); err == nil {
+				okOps++
+			}
+			wg.Done()
+		}); err != nil {
+			panic(err)
+		}
+	}
+	sys.Run()
+	return sys, end - t0, n, okOps
+}
+
+// faultsSvcQuery is the error-tolerant service fan-out: n clients open a
+// session to one service and perform one session-scoped obtain. Failure at
+// either step counts the whole operation failed.
+func faultsSvcQuery(eng *sim.Engine, n, extra int, plan *fault.Plan, simWorkers int) (*core.System, sim.Duration, int, int) {
+	sys, pes := faultsSystem(eng, n, extra, plan, simWorkers)
+	svcReady := sim.NewFuture[struct{}](sys.Eng)
+	var t0, end sim.Time
+	var okOps int
+	var idents uint64
+	if _, err := sys.SpawnOn(pes[0], "svc", func(v *core.VPE, p *sim.Proc) {
+		sel, err := v.AllocMem(p, 4096, dtu.PermRW)
+		if err != nil {
+			panic(err)
+		}
+		err = v.RegisterService(p, "fan", core.ServiceHandlers{
+			Open: func(p *sim.Proc, clientVPE int, args any) core.SvcResult {
+				idents++
+				return core.SvcResult{Ident: idents}
+			},
+			Obtain: func(p *sim.Proc, ident uint64, args any) core.SvcResult {
+				return core.SvcResult{SrcSel: sel}
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		t0 = p.Now()
+		svcReady.Complete(struct{}{})
+		v.ServeLoop(p)
+	}); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := sys.SpawnOn(pes[1+i], fmt.Sprintf("c%d", i), func(v *core.VPE, p *sim.Proc) {
+			svcReady.Wait(p)
+			if sess, err := v.CreateSession(p, "fan", nil); err == nil {
+				if _, _, err := sess.Obtain(p, nil); err == nil {
+					okOps++
+				}
+			}
+			if end < p.Now() {
+				end = p.Now()
+			}
+		}); err != nil {
+			panic(err)
+		}
+	}
+	sys.Run()
+	return sys, end - t0, n, okOps
+}
+
+// kindFaults runs one cell of the fault sweep. Config encodes the machine
+// (Kernels = 1+extra, Instances = clients), Variant the workload
+// (exchange, svcquery, crash), Arg the drop rate in basis points and Seed
+// the injector seed.
+const kindFaults = "faults"
+
+func init() { registerKind(kindFaults, runFaultsSpec) }
+
+func runFaultsSpec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
+	n, extra := spec.Config.Instances, spec.Config.Kernels-1
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	plan := faultsPlan(seed, spec.Arg)
+	var sys *core.System
+	var mk sim.Duration
+	var attempted, ok int
+	switch spec.Variant {
+	case "exchange":
+		sys, mk, attempted, ok = faultsExchange(eng, n, extra, plan, spec.SimWorkers)
+	case "crash":
+		// The crash scenario: the last client kernel dies mid-fan-out. Its
+		// clients' pending operations must resolve to errors (the victims
+		// declare the owner dead from their side too — its replies vanish),
+		// while everyone else completes.
+		plan.Kernels = append(plan.Kernels, fault.KernelFault{Kernel: extra, CrashAt: faultsCrashAt})
+		sys, mk, attempted, ok = faultsExchange(eng, n, extra, plan, spec.SimWorkers)
+	case "svcquery":
+		sys, mk, attempted, ok = faultsSvcQuery(eng, n, extra, plan, spec.SimWorkers)
+	default:
+		return Metrics{}, nil, fmt.Errorf("faults: unknown variant %q", spec.Variant)
+	}
+	defer sys.Close()
+	st := sys.TotalStats()
+	fs := sys.FaultStats()
+	lost := sys.Net.Stats().Lost
+	var meanRec uint64
+	if st.Recovered > 0 {
+		meanRec = uint64(st.RecoveryCycles) / st.Recovered
+	}
+	m := Metrics{
+		Cycles:    uint64(mk),
+		LostMsgs:  lost,
+		Retries:   st.Retransmits,
+		DupDrops:  st.DupSuppressed,
+		Completed: float64(ok) / float64(attempted),
+	}
+	aux := faultsAux{
+		Attempted:          attempted,
+		Succeeded:          ok,
+		Retransmits:        st.Retransmits,
+		DupSuppressed:      st.DupSuppressed,
+		ReplayedReplies:    st.ReplayedReplies,
+		LateReplies:        st.LateReplies,
+		FailFast:           st.FailFast,
+		DeadPeers:          st.DeadPeers,
+		Recovered:          st.Recovered,
+		MeanRecoveryCycles: meanRec,
+		InjDropped:         fs.Dropped,
+		InjDuplicated:      fs.Duplicated,
+		InjDelayed:         fs.Delayed,
+		InjBlackholed:      fs.Blackholed,
+	}
+	return m, aux, nil
+}
+
+// faultsOps is the workload axis of the sweep. The crash scenario runs at
+// one fixed drop rate: its point is the dead-kernel degradation, not the
+// rate sweep.
+var faultsOps = []string{"exchange", "svcquery"}
+
+// faultsSpecs plans the (workload × drop rate) grid plus the crash cell.
+func faultsSpecs(n, extra int, seed uint64) []TaskSpec {
+	var specs []TaskSpec
+	for _, op := range faultsOps {
+		for _, bp := range faultsRates {
+			specs = append(specs, TaskSpec{
+				Experiment: fmt.Sprintf("faults/%s-%dbp", op, bp),
+				Kind:       kindFaults,
+				Variant:    op,
+				Arg:        bp,
+				Seed:       seed,
+				Config:     ExpConfig{Kernels: extra + 1, Instances: n},
+			})
+		}
+	}
+	specs = append(specs, TaskSpec{
+		Experiment: "faults/crash-100bp",
+		Kind:       kindFaults,
+		Variant:    "crash",
+		Arg:        100,
+		Seed:       seed,
+		Config:     ExpConfig{Kernels: extra + 1, Instances: n},
+	})
+	return specs
+}
+
+// FaultsRow is one report row of the sweep.
+type FaultsRow struct {
+	Workload  string
+	DropBp    int
+	Clients   int
+	Makespan  sim.Duration
+	Completed float64
+	Retries   uint64
+	DupDrops  uint64
+	LostMsgs  uint64
+	Aux       faultsAux
+}
+
+// FaultsResult holds the fault sweep.
+type FaultsResult struct {
+	ExtraKernels int
+	Seed         uint64
+	Rows         []FaultsRow
+}
+
+// Faults runs the fault-injection sweep: the fan-out workloads under
+// rising drop rates plus the kernel-crash scenario, n clients over
+// 1+extra kernels, all cells as one planned batch.
+func Faults(o Options, maxClients, extra int) FaultsResult {
+	if maxClients <= 0 {
+		maxClients = 64
+	}
+	if extra <= 0 {
+		extra = 8
+	}
+	seed := o.FaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	specs := faultsSpecs(maxClients, extra, seed)
+	rs := o.execute(specs)
+	r := FaultsResult{ExtraKernels: extra, Seed: seed}
+	for i, spec := range specs {
+		m := rs[i].Metrics
+		r.Rows = append(r.Rows, FaultsRow{
+			Workload:  spec.Variant,
+			DropBp:    spec.Arg,
+			Clients:   spec.Config.Instances,
+			Makespan:  sim.Duration(m.Cycles),
+			Completed: m.Completed,
+			Retries:   m.Retries,
+			DupDrops:  m.DupDrops,
+			LostMsgs:  m.LostMsgs,
+			Aux:       auxOf[faultsAux](rs[i]),
+		})
+	}
+	o.record(rs)
+	return r
+}
+
+// Print writes the fault-sweep table.
+func (r FaultsResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fault injection: fan-out over 1+%d kernels, seed %d\n", r.ExtraKernels, r.Seed)
+	fmt.Fprintln(w, "workload   drop     makespan(µs)  completed  retries  dupdrops  lost  dead  recovery(µs)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-9s  %5.2f%%  %12.2f  %8.1f%%  %7d  %8d  %4d  %4d  %12.2f\n",
+			row.Workload,
+			float64(row.DropBp)/100,
+			float64(row.Makespan)/core.CyclesPerMicrosecond,
+			row.Completed*100,
+			row.Retries, row.DupDrops, row.LostMsgs, row.Aux.DeadPeers,
+			float64(row.Aux.MeanRecoveryCycles)/core.CyclesPerMicrosecond)
+	}
+}

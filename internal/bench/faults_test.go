@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestFaultsSweep drives the full fault-injection sweep at test scale and
+// checks its headline contract: everything completes under probabilistic
+// faults, the crash scenario degrades (its victims fail, everyone else
+// finishes), and losses scale with the drop rate.
+func TestFaultsSweep(t *testing.T) {
+	r := Faults(Options{FaultSeed: 1}, 64, 8)
+	if len(r.Rows) != 2*len(faultsRates)+1 {
+		t.Fatalf("got %d rows, want %d", len(r.Rows), 2*len(faultsRates)+1)
+	}
+	for _, row := range r.Rows {
+		if row.Workload != "crash" {
+			if row.Completed != 1 {
+				t.Errorf("%s at %dbp: completed %.3f, want 1 (retransmission must recover every loss)",
+					row.Workload, row.DropBp, row.Completed)
+			}
+			if row.DropBp == 0 && row.LostMsgs != 0 {
+				t.Errorf("%s at 0bp lost %d messages on a drop-free fabric", row.Workload, row.LostMsgs)
+			}
+			if row.DropBp >= 100 && row.LostMsgs == 0 {
+				t.Errorf("%s at %dbp lost nothing — injector not wired?", row.Workload, row.DropBp)
+			}
+			continue
+		}
+		// The crash scenario: the last client kernel dies mid-fan-out, its
+		// clients' operations resolve to errors, the rest complete.
+		if row.Completed >= 1 || row.Completed <= 0 {
+			t.Errorf("crash: completed %.3f, want partial completion in (0, 1)", row.Completed)
+		}
+		if row.Aux.DeadPeers == 0 {
+			t.Errorf("crash: no kernel declared a peer dead")
+		}
+		if row.Aux.FailFast == 0 && row.Aux.Attempted-row.Aux.Succeeded == 0 {
+			t.Errorf("crash: no degraded operations at all: %+v", row.Aux)
+		}
+	}
+}
+
+// TestFaultsDeterministic: the same seed reproduces the whole sweep
+// byte-identically at any worker-pool size, and a different seed draws a
+// different fault sequence.
+func TestFaultsDeterministic(t *testing.T) {
+	a := Faults(Options{FaultSeed: 3, Parallel: 1}, 32, 4)
+	b := Faults(Options{FaultSeed: 3, Parallel: 4}, 32, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical seeds diverged across pool sizes:\n%+v\n%+v", a, b)
+	}
+	c := Faults(Options{FaultSeed: 4, Parallel: 1}, 32, 4)
+	if reflect.DeepEqual(a.Rows, c.Rows) {
+		t.Errorf("seeds 3 and 4 produced identical sweeps")
+	}
+}
+
+// TestFaultsSpecsRoundTrip: faults specs survive the worker-protocol JSON
+// round trip with the seed intact — sharded workers must reproduce the
+// same faults.
+func TestFaultsSpecsRoundTrip(t *testing.T) {
+	specs := faultsSpecs(16, 4, 99)
+	for _, spec := range specs {
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back TaskSpec
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != spec {
+			t.Errorf("spec round trip changed %+v -> %+v", spec, back)
+		}
+		if back.Seed != 99 {
+			t.Errorf("seed lost in round trip: %+v", back)
+		}
+	}
+}

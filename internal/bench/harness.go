@@ -48,6 +48,18 @@ type Metrics struct {
 	// existing report comparable (schema unchanged: optional additions).
 	ReqMsgs uint64 `json:"reqmsgs,omitempty"`
 	RepMsgs uint64 `json:"repmsgs,omitempty"`
+	// LostMsgs counts NoC messages dropped at a receiving DTU for want of
+	// a free slot plus fault-injected losses (noc.Stats.Lost). On the
+	// lossless baseline the in-flight accounting keeps it at zero, so
+	// surfacing it makes bench-compare catch slot-exhaustion regressions.
+	LostMsgs uint64 `json:"lostmsgs,omitempty"`
+	// Retries/DupDrops/Completed are filled by the fault-injection
+	// experiment: retransmitted wire transmissions, receiver-side
+	// duplicate suppressions, and the fraction of client operations that
+	// completed successfully. Omitted (zero) everywhere else.
+	Retries   uint64  `json:"retries,omitempty"`
+	DupDrops  uint64  `json:"dupdrops,omitempty"`
+	Completed float64 `json:"completed,omitempty"`
 }
 
 // Task is one independent experiment: Run builds its own simulation on the
@@ -219,7 +231,7 @@ func runWorkloadSpec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
 	if err != nil {
 		return Metrics{}, nil, err
 	}
-	m := Metrics{Cycles: uint64(r.MeanRuntime()), CapOps: r.TotalCapOps}
+	m := Metrics{Cycles: uint64(r.MeanRuntime()), CapOps: r.TotalCapOps, LostMsgs: r.LostMsgs}
 	return m, workloadAux{Makespan: uint64(r.Makespan)}, nil
 }
 

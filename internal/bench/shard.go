@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"sync"
+	"time"
 )
 
 // The coordinator/worker protocol. `semperos-bench -shards N` re-execs
@@ -86,10 +87,27 @@ type ShardExecutor struct {
 	// Stderr receives the workers' stderr (default os.Stderr), so a worker
 	// crash is visible.
 	Stderr io.Writer
+	// MaxRespawns bounds consecutive worker failures per slot (spawn errors
+	// and mid-task deaths alike) before the slot stops relaunching and
+	// fail-fasts every task it draws — a flapping worker must not stall the
+	// sweep on endless respawn loops. A successful task resets the count.
+	// 0 means the default (5).
+	MaxRespawns int
+	// RespawnBackoff is the delay before relaunching a failed worker,
+	// doubling per consecutive failure up to 32x. 0 means the default
+	// (100ms); tests use tiny values.
+	RespawnBackoff time.Duration
 
 	mu      sync.Mutex
 	workers []*workerProc
 }
+
+// Respawn-hardening defaults.
+const (
+	defaultMaxRespawns    = 5
+	defaultRespawnBackoff = 100 * time.Millisecond
+	respawnBackoffCap     = 32 // max multiplier over RespawnBackoff
+)
 
 // start launches one worker subprocess.
 func (s *ShardExecutor) start() (*workerProc, error) {
@@ -176,6 +194,14 @@ func (s *ShardExecutor) Execute(specs []TaskSpec) []Result {
 		}
 		close(idx)
 	}()
+	maxRespawns := s.MaxRespawns
+	if maxRespawns <= 0 {
+		maxRespawns = defaultMaxRespawns
+	}
+	backoff := s.RespawnBackoff
+	if backoff <= 0 {
+		backoff = defaultRespawnBackoff
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < shards; w++ {
 		wg.Add(1)
@@ -188,10 +214,26 @@ func (s *ShardExecutor) Execute(specs []TaskSpec) []Result {
 					Error:      fmt.Sprintf("shard %d: %v", w, err),
 				}
 			}
+			fails := 0 // consecutive failures of this slot
 			for i := range idx {
+				if fails >= maxRespawns {
+					// The slot exhausted its respawn budget: degrade to
+					// fail-fast error results instead of flapping forever.
+					fail(i, fmt.Errorf("worker slot disabled after %d consecutive failures", fails))
+					continue
+				}
 				if s.workers[w] == nil {
+					if fails > 0 {
+						// Capped exponential backoff before the relaunch: a
+						// worker dying instantly (bad binary, OOM loop) must
+						// not turn the slot into a spawn storm.
+						d := backoff << min(fails-1, 31)
+						d = min(d, backoff*respawnBackoffCap)
+						time.Sleep(d)
+					}
 					p, err := s.start()
 					if err != nil {
+						fails++
 						fail(i, err)
 						continue
 					}
@@ -203,9 +245,11 @@ func (s *ShardExecutor) Execute(specs []TaskSpec) []Result {
 					// process down and respawn on the next one.
 					s.workers[w].kill()
 					s.workers[w] = nil
+					fails++
 					fail(i, err)
 					continue
 				}
+				fails = 0
 				results[i] = res
 			}
 		}(w)

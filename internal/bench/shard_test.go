@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
+	"time"
 )
 
 // The shard tests re-exec the test binary as protocol workers: TestMain
@@ -229,6 +231,94 @@ func TestShardWorkerCrash(t *testing.T) {
 	for i, r := range rs {
 		if r.Error == "" {
 			t.Errorf("task %d against a dead worker succeeded: %+v", i, r)
+		}
+	}
+}
+
+// TestShardWorkerFlapping: a worker binary that can never start exhausts
+// the slot's respawn budget and degrades to fail-fast error results —
+// bounded attempts, no spawn storm, every task still answered.
+func TestShardWorkerFlapping(t *testing.T) {
+	const maxRespawns = 3
+	ex := &ShardExecutor{
+		Shards:         1,
+		Argv:           []string{"/nonexistent/semperos-bench-worker"},
+		MaxRespawns:    maxRespawns,
+		RespawnBackoff: time.Microsecond, // keep the capped ladder instant
+	}
+	defer ex.Close()
+	specs := fig5Specs([]int{0, 8, 16, 24, 32, 40}, []int{0})
+	start := time.Now()
+	rs := ex.Execute(specs)
+	if len(rs) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(rs), len(specs))
+	}
+	spawnErrs, disabled := 0, 0
+	for i, r := range rs {
+		if r.Error == "" {
+			t.Fatalf("task %d against an unstartable worker succeeded: %+v", i, r)
+		}
+		if strings.Contains(r.Error, "slot disabled") {
+			disabled++
+		} else {
+			spawnErrs++
+		}
+	}
+	if spawnErrs != maxRespawns {
+		t.Errorf("%d spawn-attempt failures, want exactly %d (the respawn budget)", spawnErrs, maxRespawns)
+	}
+	if disabled != len(specs)-maxRespawns {
+		t.Errorf("%d fail-fast results, want %d", disabled, len(specs)-maxRespawns)
+	}
+	// Fail-fast means fail FAST: the whole batch resolves well inside the
+	// time an unbounded backoff ladder would burn.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("flapping worker stalled the batch for %v", elapsed)
+	}
+}
+
+// TestShardWorkerRecovers: one crash does not disable a slot — the next
+// task respawns the worker and succeeds, and the failure count resets so a
+// long healthy streak never accumulates toward the budget.
+func TestShardWorkerRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	ex := testShardExecutor(1)
+	ex.RespawnBackoff = time.Microsecond
+	defer ex.Close()
+	specs := fig5Specs([]int{0, 16}, []int{0})
+
+	// Batch 1 runs healthy, then the worker is killed behind the
+	// executor's back — the crash surfaces on the next batch's first task.
+	first := ex.Execute(specs)
+	for i, r := range first {
+		if r.Error != "" {
+			t.Fatalf("healthy batch task %d failed: %s", i, r.Error)
+		}
+	}
+	ex.workers[0].cmd.Process.Kill()
+
+	second := ex.Execute(specs)
+	sawError := false
+	for _, r := range second {
+		if r.Error != "" {
+			sawError = true
+		}
+	}
+	if !sawError {
+		// The kill may have raced the next dispatch; either way the batch
+		// must have answered every task.
+		t.Logf("killed worker drained the batch cleanly (kill raced the protocol)")
+	}
+	// A fresh batch after the crash runs entirely on the respawned worker.
+	third := ex.Execute(specs)
+	for i, r := range third {
+		if r.Error != "" {
+			t.Fatalf("post-respawn task %d failed: %s", i, r.Error)
+		}
+		if r.Metrics != first[i].Metrics {
+			t.Errorf("post-respawn task %d drifted: %+v vs %+v", i, r.Metrics, first[i].Metrics)
 		}
 	}
 }

@@ -512,7 +512,7 @@ func TestPermStringsAndErrno(t *testing.T) {
 	if ErrNoSuchCap.Err() == nil {
 		t.Error("ErrNoSuchCap.Err() == nil")
 	}
-	for e := OK; e <= ErrExists; e++ {
+	for e := OK; e <= ErrPeerDead; e++ {
 		if e.Error() == "unknown error" {
 			t.Errorf("errno %d has no message", e)
 		}

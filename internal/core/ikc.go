@@ -42,6 +42,12 @@ func (k *Kernel) ikSend(p *sim.Proc, dst int, req *ikcRequest) *sim.Future[*ikcR
 	req.From = k.id
 	fut := sim.NewFuture[*ikcReply](k.sys.Eng)
 	k.pending[req.Seq] = fut
+	if k.peerDead(dst) {
+		// Degraded mode: dst exhausted its retry budget earlier. Fail the
+		// call immediately instead of queueing work for a dead kernel.
+		k.rt.failFast(req.Seq, dst)
+		return fut
+	}
 	k.stats.IKCSent++
 
 	sem := k.inflightTo(dst)
@@ -52,6 +58,9 @@ func (k *Kernel) ikSend(p *sim.Proc, dst int, req *ikcRequest) *sim.Future[*ikcR
 	}
 	dk := k.sys.kernels[dst]
 	k.sys.Net.Send(k.pe, dk.pe, ikcMsgBytes, func() { dk.recvRequest(req) })
+	if k.rt != nil {
+		k.rt.track(dst, []*ikcRequest{req}, false, req.Kind)
+	}
 	return fut
 }
 
@@ -77,11 +86,22 @@ func (k *Kernel) ikCall(p *sim.Proc, dst int, req *ikcRequest) *ikcReply {
 
 // ikNotify sends a one-way notification (e.g. orphan unlink). It consumes
 // an in-flight slot like any request but nobody waits for a reply; the
-// receiver must not send one.
+// receiver must not send one. In reliable mode the receiver *does* answer
+// with an empty ack (see dispatchRequest): loss of a notification must be
+// observable so it can be retransmitted and its credit returned, and the
+// ack — completing a future nobody waits on — is what resolves the
+// transmission.
 func (k *Kernel) ikNotify(p *sim.Proc, dst int, req *ikcRequest) {
 	k.exec(p, k.sys.Cost.IKCCompose)
 	req.Seq = k.nextSeq()
 	req.From = k.id
+	if k.reliable() {
+		k.pending[req.Seq] = sim.NewFuture[*ikcReply](k.sys.Eng)
+		if k.peerDead(dst) {
+			k.rt.failFast(req.Seq, dst)
+			return
+		}
+	}
 	k.stats.IKCSent++
 	sem := k.inflightTo(dst)
 	if !sem.TryAcquire() {
@@ -91,6 +111,9 @@ func (k *Kernel) ikNotify(p *sim.Proc, dst int, req *ikcRequest) {
 	}
 	dk := k.sys.kernels[dst]
 	k.sys.Net.Send(k.pe, dk.pe, ikcMsgBytes, func() { dk.recvRequest(req) })
+	if k.rt != nil {
+		k.rt.track(dst, []*ikcRequest{req}, false, req.Kind)
+	}
 }
 
 // recvRequest runs at the receiving kernel when a request message arrives
@@ -101,12 +124,18 @@ func (k *Kernel) recvRequest(req *ikcRequest) {
 	k.stats.IKCReceived++
 	job := func(p *sim.Proc) {
 		k.acquireCPU(p)
-		// Picking the message up frees its slot: return the in-flight
-		// credit to the sender.
-		src := k.sys.kernels[req.From]
-		k.sys.Eng.Schedule(0, func() { src.inflightTo(k.id).Release() })
+		if !k.reliable() {
+			// Picking the message up frees its slot: return the in-flight
+			// credit to the sender. In reliable mode the credit instead
+			// returns when the sender's transmission resolves (onReply /
+			// abort in reliability.go) — a lost request must not leak it.
+			src := k.sys.kernels[req.From]
+			k.sys.Eng.Schedule(0, func() { src.inflightTo(k.id).Release() })
+		}
 		k.exec(p, k.sys.Cost.IKCDispatch)
-		k.dispatchRequest(p, req)
+		if k.dedupCheck(req) {
+			k.dispatchRequest(p, req)
+		}
 		// Dispatch barrier of the reply sink (see flushBatchReplies): a
 		// reply produced by this dispatch leaves now instead of waiting on
 		// an idle window timer. No-op for unbatched families.
@@ -150,11 +179,15 @@ func (k *Kernel) recvBatch(msgs []*dtu.Message) {
 		for _, m := range msgs {
 			k.dtu.Free(m)
 		}
-		src := k.sys.kernels[batch.From]
-		k.sys.Eng.Schedule(0, func() { src.inflightTo(k.id).Release() })
+		if !k.reliable() {
+			src := k.sys.kernels[batch.From]
+			k.sys.Eng.Schedule(0, func() { src.inflightTo(k.id).Release() })
+		}
 		for _, req := range batch.Reqs {
 			k.exec(p, k.sys.Cost.IKCDispatch)
-			k.dispatchRequest(p, req)
+			if k.dedupCheck(req) {
+				k.dispatchRequest(p, req)
+			}
 		}
 		k.xport.flushBatchReplies(batch.From, batch.Kind)
 		k.releaseCPU()
@@ -183,6 +216,11 @@ func (k *Kernel) dispatchRequest(p *sim.Proc, req *ikcRequest) {
 		rep = k.handleRevokeBatchReq(p, req)
 	case ikcUnlinkChild:
 		k.handleUnlinkChild(p, req) // notification: nobody to answer
+		if k.reliable() {
+			// ...except in reliable mode, where an empty ack makes the
+			// notification's loss observable (see ikNotify).
+			rep = &ikcReply{}
+		}
 	case ikcSession:
 		rep = k.handleSessionReq(p, req)
 	case ikcObtainSess:
@@ -207,6 +245,7 @@ func (k *Kernel) ikReply(p *sim.Proc, req *ikcRequest, rep *ikcReply) {
 	k.exec(p, k.sys.Cost.IKCCompose)
 	rep.Seq = req.Seq
 	rep.From = k.id
+	k.cacheReply(req.From, req.Seq, rep)
 	if k.xport.batchesReply(req.Kind) {
 		k.xport.enqueueReply(req.From, replyClassOf(req.Kind), rep)
 		return
@@ -230,6 +269,7 @@ func (k *Kernel) ikReply(p *sim.Proc, req *ikcRequest, rep *ikcReply) {
 func (k *Kernel) ikReplyAsync(req *ikcRequest, rep *ikcReply) {
 	rep.Seq = req.Seq
 	rep.From = k.id
+	k.cacheReply(req.From, req.Seq, rep)
 	k.stats.Busy += k.sys.Cost.IKCCompose
 	k.stats.IKCRepSent++
 	src := k.sys.kernels[req.From]
@@ -251,12 +291,21 @@ func (k *Kernel) recvReplyVec(msgs []*dtu.Message) {
 	}
 }
 
-// recvReply completes the pending future for a reply (event context).
+// recvReply completes the pending future for a reply (event context). A
+// reply for an unknown sequence number is late or duplicated: its request
+// was retransmitted and already answered, or the peer was declared dead
+// and the future completed with an error reply. It is counted, not fatal
+// — on the lossless baseline the counter provably stays zero (every
+// reply matches a pending future), so flags-off traces are unchanged.
 func (k *Kernel) recvReply(rep *ikcReply) {
 	fut := k.pending[rep.Seq]
 	if fut == nil {
-		panic("core: reply for unknown sequence number")
+		k.stats.LateReplies++
+		return
 	}
 	delete(k.pending, rep.Seq)
+	if k.rt != nil {
+		k.rt.onReply(rep.Seq)
+	}
 	fut.Complete(rep)
 }

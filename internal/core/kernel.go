@@ -28,6 +28,16 @@ type KernelStats struct {
 	CapsDeleted   uint64
 	Orphans       uint64
 	Busy          sim.Duration
+
+	// Reliable-mode counters (reliability.go); all zero with faults off.
+	Retransmits     uint64       // wire transmissions re-sent after a timeout
+	DupSuppressed   uint64       // received requests suppressed as duplicates
+	ReplayedReplies uint64       // cached replies replayed for duplicates
+	LateReplies     uint64       // replies for unknown (already resolved) seqs
+	FailFast        uint64       // requests failed immediately: peer already dead
+	DeadPeers       uint64       // peers this kernel declared dead
+	Recovered       uint64       // transmissions that completed after a retry
+	RecoveryCycles  sim.Duration // summed first-send→completion time of recovered transmissions
 }
 
 func (a *KernelStats) add(b KernelStats) {
@@ -47,6 +57,14 @@ func (a *KernelStats) add(b KernelStats) {
 	a.CapsDeleted += b.CapsDeleted
 	a.Orphans += b.Orphans
 	a.Busy += b.Busy
+	a.Retransmits += b.Retransmits
+	a.DupSuppressed += b.DupSuppressed
+	a.ReplayedReplies += b.ReplayedReplies
+	a.LateReplies += b.LateReplies
+	a.FailFast += b.FailFast
+	a.DeadPeers += b.DeadPeers
+	a.Recovered += b.Recovered
+	a.RecoveryCycles += b.RecoveryCycles
 }
 
 // CapOps returns the number of capability-modifying and session operations,
@@ -86,6 +104,10 @@ type Kernel struct {
 	// xport is the unified IKC transport: per-destination aggregation
 	// queues and the batching policy (transport.go).
 	xport *transport
+
+	// rt is the reliable-IKC state (retransmission tracking, receiver
+	// dedup, dead-peer verdicts); nil in the baseline lossless mode.
+	rt *relState
 
 	// inflight limits unprocessed requests per destination kernel.
 	inflight map[int]*sim.Semaphore
@@ -129,6 +151,9 @@ func newKernel(s *System, id int) *Kernel {
 	k.ikcPool = newPool(k, "ikc", MaxKernels*MaxInflight)
 	k.revokePool = newPool(k, "rev", RevokeThreads)
 	k.xport = newTransport(k, s.cfg.batchingPolicy())
+	if s.rel != nil {
+		k.rt = newRelState(k, *s.rel)
+	}
 	// Configure the kernel DTU's syscall receive endpoints; messages are
 	// dispatched to the syscall pool.
 	for ep := kernelSyscallEP0; ep < kernelSyscallEP0+SyscallRecvEPs; ep++ {

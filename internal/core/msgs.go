@@ -41,6 +41,10 @@ const (
 	ErrBadArgs
 	ErrOutOfMem
 	ErrExists
+	// ErrPeerDead is the degraded-mode answer for requests to a kernel
+	// that exhausted its retry budget (see reliability.go): the future
+	// completes with this error instead of hanging.
+	ErrPeerDead
 )
 
 func (e Errno) Error() string {
@@ -63,6 +67,8 @@ func (e Errno) Error() string {
 		return "out of memory"
 	case ErrExists:
 		return "already exists"
+	case ErrPeerDead:
+		return "peer kernel dead"
 	default:
 		return "unknown error"
 	}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cap"
+	"repro/internal/dtu"
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// reliableFanout spawns a root with one memory capability and n clients
+// spread over the machine's kernels, each obtaining it once. Obtain errors
+// are collected, not fatal — under fault injection they are data.
+func reliableFanout(t *testing.T, cfg Config, n int) (*System, []error) {
+	t.Helper()
+	s := MustNew(cfg)
+	t.Cleanup(s.Close)
+	ready := sim.NewFuture[cap.Selector](s.Eng)
+	var wg sim.WaitGroup
+	wg.Add(n)
+	errs := make([]error, n)
+	root, err := s.SpawnOn(s.userPEs[0], "root", func(v *VPE, p *sim.Proc) {
+		sel, err := v.AllocMem(p, 4096, dtu.PermRW)
+		if err != nil {
+			t.Errorf("alloc: %v", err)
+			return
+		}
+		ready.Complete(sel)
+		wg.Wait(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		if _, err := s.SpawnOn(s.userPEs[1+i], fmt.Sprintf("c%d", i), func(v *VPE, p *sim.Proc) {
+			sel := ready.Wait(p)
+			_, errs[i] = v.ObtainFrom(p, root.ID, sel)
+			wg.Done()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	return s, errs
+}
+
+// TestReliableModeLossless: the reliability layer on a lossless fabric is
+// pure bookkeeping — every operation succeeds and no reliability event
+// (retransmit, dedup, late reply, death) ever fires at this scale.
+func TestReliableModeLossless(t *testing.T) {
+	const kids = 12
+	s, errs := reliableFanout(t, Config{Kernels: 4, UserPEs: kids + 7, Reliability: &Reliability{}}, kids)
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+	st := s.TotalStats()
+	if st.Retransmits != 0 || st.DupSuppressed != 0 || st.LateReplies != 0 ||
+		st.FailFast != 0 || st.DeadPeers != 0 || st.Recovered != 0 {
+		t.Errorf("reliability events on a lossless idle-enough fabric: %+v", st)
+	}
+	if lost := s.Net.Stats().Lost; lost != 0 {
+		t.Errorf("Lost = %d on a lossless fabric", lost)
+	}
+	checkAllInvariants(t, s)
+}
+
+// TestReliableRecoversFromDrops: with a lossy, duplicating, jittery fabric
+// every obtain still succeeds — retransmission recovers the losses and
+// dedup absorbs the duplicates.
+func TestReliableRecoversFromDrops(t *testing.T) {
+	const kids = 24
+	plan := &fault.Plan{Seed: 11, Drop: 0.10, Dup: 0.05, Jitter: 200}
+	s, errs := reliableFanout(t, Config{Kernels: 4, UserPEs: kids + 7, Faults: plan}, kids)
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+	fs := s.FaultStats()
+	if fs.Inspected == 0 {
+		t.Fatalf("injector saw no kernel-link traffic")
+	}
+	if fs.Dropped == 0 {
+		t.Fatalf("plan dropped nothing (Inspected=%d); pick a hotter seed", fs.Inspected)
+	}
+	st := s.TotalStats()
+	if st.Retransmits == 0 {
+		t.Errorf("drops occurred (%d) but nothing was retransmitted", fs.Dropped)
+	}
+	if got := s.Net.Stats().Lost; got < fs.Dropped {
+		t.Errorf("Net lost %d < injector dropped %d", got, fs.Dropped)
+	}
+	checkAllInvariants(t, s)
+}
+
+// TestFaultyRunDeterministic: the same seed reproduces a faulty run
+// exactly — kernel stats, injector stats and event counts all match.
+func TestFaultyRunDeterministic(t *testing.T) {
+	run := func() (KernelStats, fault.Stats, uint64) {
+		const kids = 16
+		plan := &fault.Plan{Seed: 17, Drop: 0.10, Dup: 0.05, Jitter: 300}
+		s, _ := reliableFanout(t, Config{Kernels: 4, UserPEs: kids + 7, Faults: plan}, kids)
+		return s.TotalStats(), s.FaultStats(), s.Net.Stats().Lost
+	}
+	st1, fs1, lost1 := run()
+	st2, fs2, lost2 := run()
+	if st1 != st2 {
+		t.Errorf("kernel stats differ across identical faulty runs:\n%+v\n%+v", st1, st2)
+	}
+	if fs1 != fs2 {
+		t.Errorf("injector stats differ across identical faulty runs:\n%+v\n%+v", fs1, fs2)
+	}
+	if lost1 != lost2 {
+		t.Errorf("lost counts differ: %d vs %d", lost1, lost2)
+	}
+}
+
+// TestDeadKernelFailFast: a kernel whose links are dead from the start
+// cannot reach the capability owner; its clients' operations must resolve
+// to ErrPeerDead — promptly for requests minted after the death verdict —
+// and the run must terminate (no hung futures).
+func TestDeadKernelFailFast(t *testing.T) {
+	// Kernel 1 crashes before any traffic; aggressive timeouts keep the
+	// death verdict quick.
+	plan := &fault.Plan{Seed: 1, Kernels: []fault.KernelFault{{Kernel: 1, CrashAt: 1}}}
+	rel := &Reliability{RTOBase: 2_000, MaxRetries: 2}
+	s := MustNew(Config{Kernels: 2, UserPEs: 8, Faults: plan, Reliability: rel})
+	t.Cleanup(s.Close)
+
+	// Root lives in kernel 0's group; the client in kernel 1's.
+	var rootPE, clientPE int
+	for _, pe := range s.userPEs {
+		if s.KernelOfPE(pe).ID() == 0 && rootPE == 0 {
+			rootPE = pe
+		}
+		if s.KernelOfPE(pe).ID() == 1 && clientPE == 0 {
+			clientPE = pe
+		}
+	}
+	ready := sim.NewFuture[cap.Selector](s.Eng)
+	var done sim.WaitGroup
+	done.Add(1)
+	var err1, err2 error
+	var rootDone, clientDone bool
+	root, err := s.SpawnOn(rootPE, "root", func(v *VPE, p *sim.Proc) {
+		sel, err := v.AllocMem(p, 4096, dtu.PermRW)
+		if err != nil {
+			t.Errorf("alloc: %v", err)
+			return
+		}
+		ready.Complete(sel)
+		done.Wait(p)
+		rootDone = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SpawnOn(clientPE, "client", func(v *VPE, p *sim.Proc) {
+		sel := ready.Wait(p)
+		_, err1 = v.ObtainFrom(p, root.ID, sel)
+		// The second attempt runs after the death verdict: it must fail
+		// fast, without burning another retry ladder.
+		_, err2 = v.ObtainFrom(p, root.ID, sel)
+		done.Done()
+		clientDone = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run() // must terminate — a hung future would park the procs forever
+
+	if err1 == nil || err2 == nil {
+		t.Fatalf("obtains across a dead link succeeded: err1=%v err2=%v", err1, err2)
+	}
+	if !errors.Is(err1, error(ErrPeerDead)) {
+		t.Errorf("err1 = %v, want ErrPeerDead", err1)
+	}
+	if !errors.Is(err2, error(ErrPeerDead)) {
+		t.Errorf("err2 = %v, want ErrPeerDead", err2)
+	}
+	st := s.TotalStats()
+	if st.DeadPeers == 0 {
+		t.Errorf("no kernel declared its peer dead: %+v", st)
+	}
+	if st.FailFast == 0 {
+		t.Errorf("post-death request did not fail fast: %+v", st)
+	}
+	// The kernels keep their worker procs parked by design; the hung-future
+	// check is that both user programs ran to completion.
+	if !rootDone || !clientDone {
+		t.Errorf("user procs wedged: rootDone=%v clientDone=%v", rootDone, clientDone)
+	}
+}
+
+// TestBaselineHasNoReliabilityState: without Faults or Reliability the
+// reliable layer must not exist at all — its state is nil and its
+// counters stay zero, preserving the byte-identical baseline.
+func TestBaselineHasNoReliabilityState(t *testing.T) {
+	const kids = 8
+	s, errs := reliableFanout(t, Config{Kernels: 4, UserPEs: kids + 7}, kids)
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+	for ki := 0; ki < s.Kernels(); ki++ {
+		if s.Kernel(ki).rt != nil {
+			t.Errorf("kernel %d has reliability state without Faults/Reliability", ki)
+		}
+	}
+	st := s.TotalStats()
+	if st.Retransmits+st.DupSuppressed+st.ReplayedReplies+st.LateReplies+
+		st.FailFast+st.DeadPeers+st.Recovered != 0 {
+		t.Errorf("baseline run counted reliability events: %+v", st)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/cap"
+	"repro/internal/dtu"
+	"repro/internal/sim"
+)
+
+// buildFanoutNoRun assembles the reliableFanout workload without running
+// it, so the caller controls execution (RunCtx, partial runs, resumes).
+func buildFanoutNoRun(t *testing.T, s *System, n int) []error {
+	t.Helper()
+	ready := sim.NewFuture[cap.Selector](s.Eng)
+	var wg sim.WaitGroup
+	wg.Add(n)
+	errs := make([]error, n)
+	root, err := s.SpawnOn(s.userPEs[0], "root", func(v *VPE, p *sim.Proc) {
+		sel, err := v.AllocMem(p, 4096, dtu.PermRW)
+		if err != nil {
+			t.Errorf("alloc: %v", err)
+			return
+		}
+		ready.Complete(sel)
+		wg.Wait(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		if _, err := s.SpawnOn(s.userPEs[1+i], fmt.Sprintf("c%d", i), func(v *VPE, p *sim.Proc) {
+			sel := ready.Wait(p)
+			_, errs[i] = v.ObtainFrom(p, root.ID, sel)
+			wg.Done()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return errs
+}
+
+// TestSystemRunCtxCancelDeterministic: cancelling System.RunCtx from an
+// in-simulation event stops at the same executed count and virtual time at
+// every -simworkers setting, the resumed run completes every operation,
+// and the final kernel stats match an uncancelled run. Teardown after a
+// cancelled run is clean (Close settles LiveProcs to zero).
+func TestSystemRunCtxCancelDeterministic(t *testing.T) {
+	const kids = 12
+	cfg := func(w int) Config { return Config{Kernels: 4, UserPEs: kids + 7, SimWorkers: w} }
+
+	// Uncancelled reference.
+	refSys := MustNew(cfg(1))
+	refErrs := buildFanoutNoRun(t, refSys, kids)
+	refSys.Run()
+	refStats := refSys.TotalStats()
+	for i, err := range refErrs {
+		if err != nil {
+			t.Fatalf("reference client %d: %v", i, err)
+		}
+	}
+	refSys.Close()
+
+	partial := func(w int) (uint64, sim.Time) {
+		s := MustNew(cfg(w))
+		errs := buildFanoutNoRun(t, s, kids)
+		ctx, cancel := context.WithCancel(context.Background())
+		// Cancel from inside the simulation at a fixed virtual time: the
+		// poll boundary makes the stop point a pure function of the event
+		// sequence.
+		s.Eng.Schedule(3_000, cancel)
+		if err := s.RunCtx(ctx); err != context.Canceled {
+			t.Fatalf("simworkers=%d: RunCtx = %v, want context.Canceled", w, err)
+		}
+		executed, now := s.Eng.Executed(), s.Now()
+		// The engine stays valid: resuming completes the workload exactly.
+		if err := s.RunCtx(context.Background()); err != nil {
+			t.Fatalf("simworkers=%d resume: %v", w, err)
+		}
+		for i, err := range errs {
+			if err != nil {
+				t.Errorf("simworkers=%d client %d after resume: %v", w, i, err)
+			}
+		}
+		if st := s.TotalStats(); st != refStats {
+			t.Errorf("simworkers=%d: resumed stats differ from uncancelled run:\n%+v\n%+v", w, st, refStats)
+		}
+		s.Close()
+		if n := s.Eng.LiveProcs(); n != 0 {
+			t.Errorf("simworkers=%d: LiveProcs = %d after Close, want 0", w, n)
+		}
+		return executed, now
+	}
+
+	exec1, now1 := partial(1)
+	if exec1 == 0 {
+		t.Fatal("cancellation struck before any event")
+	}
+	for _, w := range []int{2, 4} {
+		if execW, nowW := partial(w); execW != exec1 || nowW != now1 {
+			t.Errorf("simworkers=%d: cancel point (executed=%d now=%d) differs from sequential (%d, %d)",
+				w, execW, nowW, exec1, now1)
+		}
+	}
+	if execR, nowR := partial(2); execR != exec1 || nowR != now1 {
+		t.Errorf("repeat: cancel point (executed=%d now=%d) not reproducible (%d, %d)",
+			execR, nowR, exec1, now1)
+	}
+}
+
+// TestSystemRunCtxCancelPoolReuse: a pooled engine whose run was cancelled
+// mid-flight — kernels and VPEs still parked — recycles through
+// Pool.Put/Get into a fresh system that reproduces an independent run
+// exactly.
+func TestSystemRunCtxCancelPoolReuse(t *testing.T) {
+	const kids = 12
+	cfg := Config{Kernels: 4, UserPEs: kids + 7, SimWorkers: 2}
+
+	ref := MustNew(cfg)
+	buildFanoutNoRun(t, ref, kids)
+	ref.Run()
+	refStats := ref.TotalStats()
+	ref.Close()
+
+	pool := sim.NewPool()
+	e := pool.Get()
+	cfgPooled := cfg
+	cfgPooled.Engine = e
+	s1 := MustNew(cfgPooled)
+	buildFanoutNoRun(t, s1, kids)
+	ctx, cancel := context.WithCancel(context.Background())
+	s1.Eng.Schedule(3_000, cancel)
+	if err := s1.RunCtx(ctx); err != context.Canceled {
+		t.Fatalf("RunCtx = %v, want context.Canceled", err)
+	}
+	pool.Put(e) // Reset: unwinds every parked kernel and VPE proc
+	if n := e.LiveProcs(); n != 0 {
+		t.Fatalf("LiveProcs = %d after Put, want 0", n)
+	}
+
+	e2 := pool.Get()
+	if e2 != e {
+		t.Fatalf("pool handed out a different engine")
+	}
+	cfgPooled.Engine = e2
+	s2 := MustNew(cfgPooled)
+	t.Cleanup(s2.Close)
+	errs := buildFanoutNoRun(t, s2, kids)
+	s2.Run()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d on reused engine: %v", i, err)
+		}
+	}
+	if st := s2.TotalStats(); st != refStats {
+		t.Errorf("pool-reused run stats differ from a fresh run:\n%+v\n%+v", st, refStats)
+	}
+	checkAllInvariants(t, s2)
+}

@@ -206,6 +206,12 @@ func (k *Kernel) sysCreateSession(p *sim.Proc, req *sysRequest) *sysReply {
 	if entry == nil {
 		return &sysReply{Err: ErrNoService}
 	}
+	if k.peerDead(entry.kernel) {
+		// Degraded mode: the directory stops routing to a kernel this
+		// kernel has declared dead — clients get ErrNoService instead of
+		// a session doomed to fail-fast errors.
+		return &sysReply{Err: ErrNoService}
+	}
 	objID := k.gen.NextID(v.PE, v.ID)
 	var info sessionInfo
 	var parentKey ddl.Key

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ddl"
 	"repro/internal/dtu"
+	"repro/internal/fault"
 	"repro/internal/noc"
 	"repro/internal/sim"
 )
@@ -42,6 +43,16 @@ type Config struct {
 	// kept so existing configurations work unchanged; setting either
 	// enables revoke batching with identical semantics.
 	RevokeBatching bool
+	// Faults attaches a deterministic fault-injection plan to the NoC's
+	// kernel↔kernel links (internal/fault). Setting it switches the IKC
+	// protocol into reliable mode — timeouts, retransmit with backoff,
+	// receiver dedup, dead-peer degradation (reliability.go). Nil keeps
+	// the lossless fabric and the byte-identical baseline event trace.
+	Faults *fault.Plan
+	// Reliability tunes the reliable IKC mode's timers and budgets; nil
+	// uses the defaults. Setting it (even with Faults nil) enables
+	// reliable mode on a lossless fabric.
+	Reliability *Reliability
 	// Engine, when non-nil, is the simulation engine to build on instead of
 	// a fresh sim.NewEngine. It must be in fresh state (new or Reset):
 	// time, sequence and event counters at zero and not killed. The bench
@@ -121,6 +132,11 @@ type System struct {
 	doms      []*sim.Domain
 	kernelDom []*sim.Domain
 
+	// rel is the resolved reliable-IKC configuration; nil in baseline
+	// lossless mode. inj is the attached fault injector, if any.
+	rel *Reliability
+	inj *fault.Injector
+
 	services map[string]*serviceEntry
 	dramNext []uint64
 	dramRR   int
@@ -168,6 +184,20 @@ func NewSystem(cfg Config) (*System, error) {
 		peToVPE:  make([]*VPE, nodes),
 		services: make(map[string]*serviceEntry),
 		dramNext: make([]uint64, cfg.MemPEs),
+	}
+	// Fault injection and the reliable IKC mode it requires. Either knob
+	// alone enables reliable mode; the injector only exists with a plan.
+	if cfg.Faults != nil || cfg.Reliability != nil {
+		rel := Reliability{}
+		if cfg.Reliability != nil {
+			rel = *cfg.Reliability
+		}
+		rel = rel.withDefaults()
+		s.rel = &rel
+	}
+	if cfg.Faults != nil {
+		s.inj = fault.NewInjector(*cfg.Faults, cfg.Kernels)
+		net.SetInjector(s.inj)
 	}
 	// Partition the event queue per NoC domain: contiguous blocks of
 	// kernels (with their PE groups) map onto min(SimWorkers, Kernels)
@@ -314,6 +344,14 @@ func (s *System) allocDRAM(size uint64) (pe int, off uint64, err error) {
 
 // Service returns the directory entry for a registered service, or nil.
 func (s *System) service(name string) *serviceEntry { return s.services[name] }
+
+// FaultStats returns the fault injector's counters (zero without a plan).
+func (s *System) FaultStats() fault.Stats {
+	if s.inj == nil {
+		return fault.Stats{}
+	}
+	return s.inj.Stats()
+}
 
 // TotalStats sums the per-kernel statistics.
 func (s *System) TotalStats() KernelStats {

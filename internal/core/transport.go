@@ -330,6 +330,12 @@ func (t *transport) enqueue(p *sim.Proc, dst int, req *ikcRequest) *sim.Future[*
 	req.From = k.id
 	fut := sim.NewFuture[*ikcReply](k.sys.Eng)
 	k.pending[req.Seq] = fut
+	if k.peerDead(dst) {
+		// Degraded mode: don't queue requests for a dead kernel — answer
+		// them with an error reply right away (see reliability.go).
+		k.rt.failFast(req.Seq, dst)
+		return fut
+	}
 	k.stats.IKCBatched++
 
 	key := qkey{dst: dst, kind: req.Kind}
@@ -416,6 +422,15 @@ func (t *transport) flushLocked(p *sim.Proc, key qkey) {
 	t.adaptWindow(&q.window, len(reqs))
 
 	k := t.k
+	if k.peerDead(key.dst) {
+		// The destination died while these requests were queued: complete
+		// them with error replies instead of transmitting into a black
+		// hole (and tying up an in-flight credit).
+		for _, req := range reqs {
+			k.rt.failFast(req.Seq, key.dst)
+		}
+		return
+	}
 	k.exec(p, k.sys.Cost.IKCCompose) // envelope header compose
 	k.stats.IKCSent++
 	k.stats.IKCBatches++
@@ -428,6 +443,9 @@ func (t *transport) flushLocked(p *sim.Proc, key qkey) {
 	env := &ikcBatch{From: k.id, Kind: key.kind, Reqs: reqs}
 	dk := k.sys.kernels[key.dst]
 	must(k.dtu.SendVecTo(dk.pe, ikcBatchEP, env.items()))
+	if k.rt != nil {
+		k.rt.track(key.dst, reqs, true, key.kind)
+	}
 }
 
 // --- reply direction (the sink) ------------------------------------------

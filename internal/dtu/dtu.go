@@ -169,6 +169,9 @@ type Stats struct {
 	MemWrites     uint64
 	VecDeliveries uint64
 	VecItems      uint64
+	// EPLost breaks Lost down by receive endpoint, so a slot-exhaustion
+	// bug names the channel it starved (syscall EPs vs envelope EPs).
+	EPLost [NumEndpoints]uint64
 }
 
 // DTU is one data transfer unit, attached to PE `pe`.
@@ -350,20 +353,25 @@ func (d *DTU) Send(ep int, payload any, size int, replyEP int, label uint64) err
 	}
 	e.credits--
 	d.stats.Sent++
-	msg := &Message{
-		SrcPE:   d.pe,
-		SrcEP:   ep,
-		ReplyEP: replyEP,
-		Label:   e.label,
-		Payload: payload,
-		Size:    size,
-	}
+	// Endpoint state is captured now; the Message object is built inside
+	// the delivery closure so an injected duplicate delivery (see
+	// noc.Verdict.Dup) materializes as a distinct message, exactly as a
+	// duplicated wire transfer would.
+	msgLabel := e.label
 	if label != 0 {
-		msg.Label = label
+		msgLabel = label
 	}
+	srcEP := ep
 	dstPE, dstEP := e.dstPE, e.dstEP
 	d.fabric.net.Send(d.pe, dstPE, size+headerBytes, func() {
-		d.fabric.dtus[dstPE].deliver(dstEP, msg)
+		d.fabric.dtus[dstPE].deliver(dstEP, &Message{
+			SrcPE:   d.pe,
+			SrcEP:   srcEP,
+			ReplyEP: replyEP,
+			Label:   msgLabel,
+			Payload: payload,
+			Size:    size,
+		})
 	})
 	return nil
 }
@@ -375,6 +383,7 @@ func (d *DTU) deliver(ep int, msg *Message) {
 	e := &d.eps[ep]
 	if e.kind != EpRecv || e.used >= e.slots {
 		d.stats.Lost++
+		d.stats.EPLost[ep]++
 		d.fabric.net.CountLost()
 		return
 	}
@@ -420,20 +429,25 @@ func (d *DTU) SendVecTo(dstPE, dstEP int, items []VecItem) error {
 		return ErrBadEndpoint
 	}
 	total := headerBytes
-	msgs := make([]*Message, len(items))
-	for i, it := range items {
+	for _, it := range items {
 		total += it.Size
-		msgs[i] = &Message{
-			SrcPE:   d.pe,
-			SrcEP:   -1,
-			ReplyEP: -1,
-			Label:   it.Label,
-			Payload: it.Payload,
-			Size:    it.Size,
-		}
 	}
 	d.stats.Sent += uint64(len(items))
+	// Message objects are built per delivery (not per send) so an injected
+	// duplicate delivery allocates its own copies; the caller must not
+	// mutate items after the call.
 	d.fabric.net.Send(d.pe, dstPE, total, func() {
+		msgs := make([]*Message, len(items))
+		for i, it := range items {
+			msgs[i] = &Message{
+				SrcPE:   d.pe,
+				SrcEP:   -1,
+				ReplyEP: -1,
+				Label:   it.Label,
+				Payload: it.Payload,
+				Size:    it.Size,
+			}
+		}
 		d.fabric.dtus[dstPE].deliverVec(dstEP, msgs)
 	})
 	return nil
@@ -449,6 +463,7 @@ func (d *DTU) deliverVec(ep int, msgs []*Message) {
 	e := &d.eps[ep]
 	if e.kind != EpRecv || e.used >= e.slots {
 		d.stats.Lost++
+		d.stats.EPLost[ep]++
 		d.fabric.net.CountLost()
 		return
 	}

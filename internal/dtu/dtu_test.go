@@ -413,3 +413,39 @@ func TestVecQueueDeliveryAndSlotRelease(t *testing.T) {
 		t.Fatalf("lost = %d after slot release, want still 1", b.Stats().Lost)
 	}
 }
+
+// TestPerEndpointLossBreakdown: receiver-side drops are attributed to the
+// endpoint whose slots ran out, the per-EP counters sum to the DTU's Lost
+// total, and each drop also reaches the fabric-wide NoC counter.
+func TestPerEndpointLossBreakdown(t *testing.T) {
+	e, f := newFabric(t, 4)
+	a, b := f.DTU(0), f.DTU(1)
+	b.ConfigureRecv(b, 2, 2, nil) // 2 slots on EP 2
+	b.ConfigureRecv(b, 3, 1, nil) // 1 slot on EP 3
+	a.ConfigureSend(a, 1, 1, 2, 16, 0)
+	a.ConfigureSend(a, 4, 1, 3, 16, 0)
+	for i := 0; i < 4; i++ {
+		a.Send(1, i, 8, -1, 0) // 2 land, 2 drop on EP 2
+	}
+	for i := 0; i < 3; i++ {
+		a.Send(4, i, 8, -1, 0) // 1 lands, 2 drop on EP 3
+	}
+	e.Run()
+	st := b.Stats()
+	if st.EPLost[2] != 2 || st.EPLost[3] != 2 {
+		t.Fatalf("EPLost = [ep2:%d ep3:%d], want [2 2]", st.EPLost[2], st.EPLost[3])
+	}
+	var sum uint64
+	for _, v := range st.EPLost {
+		sum += v
+	}
+	if sum != st.Lost {
+		t.Fatalf("sum(EPLost) = %d, Lost = %d; breakdown must account for every drop", sum, st.Lost)
+	}
+	if got := f.Network().Stats().Lost; got != st.Lost {
+		t.Fatalf("NoC Lost = %d, want %d (receiver drops aggregate fabric-wide)", got, st.Lost)
+	}
+	if st.EPLost[0] != 0 || st.EPLost[1] != 0 {
+		t.Fatalf("untouched endpoints accumulated losses: %v", st.EPLost[:4])
+	}
+}

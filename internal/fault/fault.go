@@ -1,0 +1,221 @@
+// Package fault is the deterministic fault-injection layer of the
+// simulated machine. A Plan describes what goes wrong — per-link message
+// drop/duplication probabilities, delivery-delay jitter, kernel stall
+// windows and kernel crash times — and an Injector draws every decision
+// from a splittable counter-based PRNG keyed by (seed, src, dst, per-pair
+// message counter). Because the NoC calls Inspect once per message in a
+// deterministic order (the merged event loop preserves event order at any
+// -simworkers setting, and -parallel/-shards parallelize across
+// independent simulations), a fixed seed yields a byte-identical faulty
+// run regardless of host parallelism.
+//
+// Faults apply only to kernel↔kernel links (both endpoints below the
+// kernel-PE bound): the inter-kernel protocol is the layer hardened
+// against loss (core/ikc.go, core/transport.go). Syscall channels,
+// service IPC and consent queries stay lossless, so a faulty run degrades
+// — operations fail with error replies — but never wedges on an
+// unhardened path.
+package fault
+
+import (
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// LinkRule overrides the plan's default fault rates for matching directed
+// links. Src/Dst are kernel PE numbers; -1 matches any kernel. The first
+// matching rule wins and replaces the defaults wholesale.
+type LinkRule struct {
+	Src    int // source kernel PE, -1 for any
+	Dst    int // destination kernel PE, -1 for any
+	Drop   float64
+	Dup    float64
+	Jitter sim.Duration
+}
+
+// KernelFault schedules time-driven faults of one kernel. A stall window
+// delays every delivery into the kernel until the window closes (the
+// kernel stops draining its DTU); a crash blackholes all its inter-kernel
+// traffic — both directions — from CrashAt on, permanently.
+type KernelFault struct {
+	Kernel  int // kernel PE number
+	StallAt sim.Time
+	// StallFor is the stall window length; 0 means no stall.
+	StallFor sim.Duration
+	// CrashAt is the crash time; 0 means the kernel never crashes.
+	CrashAt sim.Time
+}
+
+// Plan is a complete fault scenario. The zero rates with no kernel faults
+// make a plan that injects nothing (but still switches the IKC layer into
+// reliable mode when attached via core.Config.Faults).
+type Plan struct {
+	// Seed keys the PRNG; identical plans with identical seeds produce
+	// identical fault sequences. Seed 0 is valid and distinct from 1.
+	Seed uint64
+	// Drop is the default per-message drop probability on kernel links.
+	Drop float64
+	// Dup is the default per-message duplication probability.
+	Dup float64
+	// Jitter is the default delay-jitter bound: each message is delayed by
+	// a uniform draw from [0, Jitter).
+	Jitter sim.Duration
+	// Links overrides the defaults per directed link.
+	Links []LinkRule
+	// Kernels schedules stall windows and crashes.
+	Kernels []KernelFault
+}
+
+// Stats counts what the injector did. All counters are per-Injector (=
+// per-System), so concurrent simulations never share them.
+type Stats struct {
+	Inspected  uint64 // kernel↔kernel messages examined
+	Dropped    uint64 // probabilistic drops
+	Duplicated uint64
+	Delayed    uint64 // messages given nonzero jitter
+	Stalled    uint64 // messages delayed by a stall window
+	Blackholed uint64 // messages dropped because an endpoint had crashed
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective
+// avalanche hash, here used as a counter-based PRNG — hashing
+// (seed, pair, counter, salt) gives an independent uniform draw per
+// decision without any shared mutable generator state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Decision salts decorrelate the sub-draws of one message.
+const (
+	saltDrop uint64 = iota + 1
+	saltDup
+	saltJitter
+)
+
+// effRates is the resolved rate set for one directed link.
+type effRates struct {
+	drop, dup float64
+	jitter    sim.Duration
+}
+
+// Injector implements noc.Injector for a Plan. It is not safe for
+// concurrent use; the NoC calls it from the (single-threaded or merged)
+// event loop only.
+type Injector struct {
+	plan      Plan
+	kernelPEs int
+	rates     map[pair]effRates
+	counters  map[pair]uint64
+	kfaults   map[int][]KernelFault
+	stats     Stats
+}
+
+type pair struct{ src, dst int }
+
+// NewInjector compiles a plan against a machine whose kernel PEs are
+// [0, kernelPEs). Link rules naming kernels outside that range simply
+// never match.
+func NewInjector(plan Plan, kernelPEs int) *Injector {
+	in := &Injector{
+		plan:      plan,
+		kernelPEs: kernelPEs,
+		rates:     make(map[pair]effRates),
+		counters:  make(map[pair]uint64),
+		kfaults:   make(map[int][]KernelFault),
+	}
+	for _, kf := range plan.Kernels {
+		in.kfaults[kf.Kernel] = append(in.kfaults[kf.Kernel], kf)
+	}
+	return in
+}
+
+// Stats returns a snapshot of the injection counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+func (in *Injector) ratesFor(pk pair) effRates {
+	if r, ok := in.rates[pk]; ok {
+		return r
+	}
+	r := effRates{drop: in.plan.Drop, dup: in.plan.Dup, jitter: in.plan.Jitter}
+	for _, lr := range in.plan.Links {
+		if (lr.Src == -1 || lr.Src == pk.src) && (lr.Dst == -1 || lr.Dst == pk.dst) {
+			r = effRates{drop: lr.Drop, dup: lr.Dup, jitter: lr.Jitter}
+			break
+		}
+	}
+	in.rates[pk] = r
+	return r
+}
+
+// draw returns a uniform float64 in [0,1) for one decision of one message.
+func (in *Injector) draw(pk pair, ctr, salt uint64) float64 {
+	h := splitmix64(splitmix64(splitmix64(in.plan.Seed^(uint64(pk.src)<<32|uint64(uint32(pk.dst))))+ctr) + salt)
+	return float64(h>>11) / (1 << 53)
+}
+
+func (in *Injector) crashed(pe int, now sim.Time) bool {
+	for _, kf := range in.kfaults[pe] {
+		if kf.CrashAt > 0 && now >= kf.CrashAt {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *Injector) stallDelay(pe int, now sim.Time) sim.Duration {
+	for _, kf := range in.kfaults[pe] {
+		if kf.StallFor > 0 && now >= kf.StallAt && now < kf.StallAt+kf.StallFor {
+			return kf.StallAt + kf.StallFor - now
+		}
+	}
+	return 0
+}
+
+// Inspect decides the fate of one message, called by the NoC at send time
+// (noc.Injector). Out-of-scope messages — anything but kernel↔kernel —
+// pass untouched and do not consume PRNG counters, so adding user PEs to
+// a machine never shifts the fault sequence on the kernel links.
+func (in *Injector) Inspect(now sim.Time, src, dst, size int) noc.Verdict {
+	if src == dst || src >= in.kernelPEs || dst >= in.kernelPEs {
+		return noc.Verdict{}
+	}
+	in.stats.Inspected++
+	pk := pair{src, dst}
+	ctr := in.counters[pk]
+	in.counters[pk] = ctr + 1
+	// A crashed endpoint blackholes the link in both directions: messages
+	// to a dead kernel vanish, and a dead kernel sends nothing (its
+	// in-flight sends at crash time vanish too).
+	if in.crashed(src, now) || in.crashed(dst, now) {
+		in.stats.Blackholed++
+		return noc.Verdict{Drop: true}
+	}
+	r := in.ratesFor(pk)
+	var v noc.Verdict
+	if r.drop > 0 && in.draw(pk, ctr, saltDrop) < r.drop {
+		v.Drop = true
+		in.stats.Dropped++
+	}
+	if !v.Drop && r.dup > 0 && in.draw(pk, ctr, saltDup) < r.dup {
+		v.Dup = true
+		in.stats.Duplicated++
+	}
+	if r.jitter > 0 {
+		if j := sim.Duration(in.draw(pk, ctr, saltJitter) * float64(r.jitter)); j > 0 {
+			v.Delay += j
+			in.stats.Delayed++
+		}
+	}
+	// Stall windows delay delivery into the stalled kernel (it stops
+	// draining its DTU) on top of any jitter. Dropped messages skip it.
+	if !v.Drop {
+		if d := in.stallDelay(dst, now); d > 0 {
+			v.Delay += d
+			in.stats.Stalled++
+		}
+	}
+	return v
+}

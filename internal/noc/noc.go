@@ -63,10 +63,27 @@ type Stats struct {
 	Messages uint64
 	Bytes    uint64
 	HopsSum  uint64
-	Lost     uint64 // messages dropped by a receiver (no free slot)
+	Lost     uint64 // messages dropped by a receiver (no free slot) or by fault injection
 }
 
 type pairKey struct{ src, dst int }
+
+// Verdict is a fault injector's decision about one message: drop it,
+// deliver it twice, and/or delay its arrival by Delay cycles. The zero
+// Verdict delivers normally.
+type Verdict struct {
+	Drop  bool
+	Dup   bool
+	Delay sim.Duration
+}
+
+// Injector inspects every message at send time and returns its fate.
+// Implementations (see internal/fault) must be deterministic functions of
+// their own state and the arguments: the network calls Inspect exactly
+// once per Send, in event order.
+type Injector interface {
+	Inspect(now sim.Time, src, dst, size int) Verdict
+}
 
 // Network is the mesh instance. It is bound to a sim.Engine and delivers
 // messages by scheduling events.
@@ -84,6 +101,9 @@ type Network struct {
 	// event domain (conservative PDES partitioning, see internal/sim). Nil
 	// means all deliveries use the engine's current lane, as before.
 	domains []*sim.Domain
+	// inj, when set, decides per message whether to drop, duplicate or
+	// delay it (fault injection). Nil means the lossless fabric.
+	inj Injector
 }
 
 // New creates a mesh network for cfg.Nodes PEs.
@@ -154,6 +174,10 @@ func (n *Network) BindDomains(domains []*sim.Domain) {
 	n.domains = domains
 }
 
+// SetInjector attaches a fault injector consulted once per Send. Passing
+// nil restores the lossless fabric.
+func (n *Network) SetInjector(inj Injector) { n.inj = inj }
+
 // Latency returns the uncontended latency for a message of the given size.
 func (n *Network) Latency(src, dst, size int) sim.Duration {
 	hops := sim.Duration(n.Hops(src, dst))
@@ -167,6 +191,13 @@ func (n *Network) Latency(src, dst, size int) sim.Duration {
 // Send transmits a message of size bytes from src to dst and invokes deliver
 // at the destination when it arrives. Delivery preserves per-(src,dst) FIFO
 // order. Send may be called from event handlers and procs.
+//
+// With an injector attached, a message may be dropped (deliver is never
+// invoked), duplicated (deliver is invoked twice, the copy strictly after
+// the original) or delayed. All outcomes keep per-pair FIFO: a delayed or
+// duplicated message pushes the pair's delivery horizon forward, and a
+// dropped one still advances it to where it would have arrived — the wire
+// consumed the message even though nobody receives it.
 func (n *Network) Send(src, dst, size int, deliver func()) {
 	n.checkNode(src)
 	n.checkNode(dst)
@@ -174,22 +205,46 @@ func (n *Network) Send(src, dst, size int, deliver func()) {
 	n.stats.Bytes += uint64(size)
 	n.stats.HopsSum += uint64(n.Hops(src, dst))
 
+	var v Verdict
+	if n.inj != nil {
+		v = n.inj.Inspect(n.eng.Now(), src, dst, size)
+	}
 	var arrival sim.Time
 	if n.cfg.Contention {
 		arrival = n.contendedArrival(src, dst, size)
 	} else {
 		arrival = n.eng.Now() + n.Latency(src, dst, size)
 	}
+	arrival += v.Delay
 	key := pairKey{src, dst}
 	if last, ok := n.lastDeliver[key]; ok && arrival < last {
 		arrival = last
 	}
 	n.lastDeliver[key] = arrival
-	if n.domains != nil {
-		n.domains[dst].At(arrival, deliver)
+	if v.Drop {
+		n.stats.Lost++
 		return
 	}
-	n.eng.At(arrival, deliver)
+	n.scheduleDeliver(dst, arrival, deliver)
+	if v.Dup {
+		// The duplicate trails the original by at least one cycle so the
+		// receiver observes two distinct delivery events in a fixed order.
+		gap := n.cfg.FlitLatency
+		if gap == 0 {
+			gap = 1
+		}
+		dupAt := arrival + gap
+		n.lastDeliver[key] = dupAt
+		n.scheduleDeliver(dst, dupAt, deliver)
+	}
+}
+
+func (n *Network) scheduleDeliver(dst int, at sim.Time, deliver func()) {
+	if n.domains != nil {
+		n.domains[dst].At(at, deliver)
+		return
+	}
+	n.eng.At(at, deliver)
 }
 
 // directions for XY routing link identifiers.

@@ -200,3 +200,99 @@ func TestDeliveryProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// scriptedInjector returns a fixed verdict per Send, in call order.
+type scriptedInjector struct {
+	verdicts []Verdict
+	calls    int
+}
+
+func (s *scriptedInjector) Inspect(now sim.Time, src, dst, size int) Verdict {
+	v := Verdict{}
+	if s.calls < len(s.verdicts) {
+		v = s.verdicts[s.calls]
+	}
+	s.calls++
+	return v
+}
+
+// TestInjectorDrop: a dropped message never delivers, counts as lost, and
+// still advances the pair's FIFO horizon (the wire consumed it).
+func TestInjectorDrop(t *testing.T) {
+	e, n := newNet(t, 4, false)
+	inj := &scriptedInjector{verdicts: []Verdict{{Drop: true}, {}}}
+	n.SetInjector(inj)
+	var got []int
+	n.Send(0, 1, 64, func() { got = append(got, 1) })
+	n.Send(0, 1, 64, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("deliveries = %v, want [2]", got)
+	}
+	if n.Stats().Lost != 1 {
+		t.Fatalf("Lost = %d, want 1", n.Stats().Lost)
+	}
+	if inj.calls != 2 {
+		t.Fatalf("injector consulted %d times, want 2", inj.calls)
+	}
+}
+
+// TestInjectorDup: a duplicated message delivers exactly twice, the copy
+// strictly after the original, and later sends on the pair stay FIFO
+// behind the copy.
+func TestInjectorDup(t *testing.T) {
+	e, n := newNet(t, 4, false)
+	n.SetInjector(&scriptedInjector{verdicts: []Verdict{{Dup: true}, {}}})
+	var got []int
+	var times []sim.Time
+	n.Send(0, 1, 64, func() { got = append(got, 1); times = append(times, e.Now()) })
+	n.Send(0, 1, 64, func() { got = append(got, 2); times = append(times, e.Now()) })
+	e.Run()
+	want := []int{1, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("deliveries = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("deliveries = %v, want %v", got, want)
+		}
+	}
+	if !(times[0] < times[1] && times[1] <= times[2]) {
+		t.Fatalf("delivery times %v violate original < copy <= next", times)
+	}
+}
+
+// TestInjectorDelay: injected delay shifts arrival and pushes the FIFO
+// horizon so an undelayed follower cannot overtake.
+func TestInjectorDelay(t *testing.T) {
+	e, n := newNet(t, 4, false)
+	base := n.Latency(0, 1, 64)
+	n.SetInjector(&scriptedInjector{verdicts: []Verdict{{Delay: 500}, {}}})
+	var first, second sim.Time
+	n.Send(0, 1, 64, func() { first = e.Now() })
+	n.Send(0, 1, 64, func() { second = e.Now() })
+	e.Run()
+	if first != sim.Time(base)+500 {
+		t.Fatalf("delayed arrival at %d, want %d", first, sim.Time(base)+500)
+	}
+	if second < first {
+		t.Fatalf("follower overtook the delayed message: %d < %d", second, first)
+	}
+}
+
+// TestInjectorNilRestoresLossless: clearing the injector restores plain
+// delivery.
+func TestInjectorNilRestoresLossless(t *testing.T) {
+	e, n := newNet(t, 4, false)
+	n.SetInjector(&scriptedInjector{verdicts: []Verdict{{Drop: true}}})
+	n.SetInjector(nil)
+	delivered := false
+	n.Send(0, 1, 64, func() { delivered = true })
+	e.Run()
+	if !delivered {
+		t.Fatal("message lost after the injector was cleared")
+	}
+	if n.Stats().Lost != 0 {
+		t.Fatalf("Lost = %d, want 0", n.Stats().Lost)
+	}
+}

@@ -43,6 +43,10 @@ type Result struct {
 	TotalCapOps uint64
 	// Kernel aggregates all kernel statistics.
 	Kernel core.KernelStats
+	// LostMsgs counts NoC messages dropped at a receiving DTU (no free
+	// slot). The in-flight accounting keeps it at zero on a healthy run;
+	// the bench report surfaces it so regressions are caught mechanically.
+	LostMsgs uint64
 }
 
 // MeanRuntime returns the average per-instance replay runtime.
@@ -239,6 +243,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	res.Kernel = sys.TotalStats()
+	res.LostMsgs = sys.Net.Stats().Lost
 	if err := res.Err(); err != nil {
 		return nil, err
 	}
