@@ -9,6 +9,7 @@
 //	semperos-bench -quick -parallel 4 -json out.json
 //	semperos-bench -quick -shards 4 -costs BENCH_quick.json
 //	semperos-bench -quick -simworkers 2 -json out.json   # partitioned engine
+//	semperos-bench -quick -simmode rounds -simworkers 4  # isolated rounds
 //
 // Experiments: table3, fig4, fig5, table4, fig6, fig7, fig8, fig9, fig10,
 // ablation. Every experiment plans its runs as serializable task specs and
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 )
 
 // experimentNames are the valid -experiment tokens, in run order. The
@@ -58,6 +60,7 @@ func realMain() int {
 	shards := flag.Int("shards", 0, "execute the sweep on N worker processes (0 = in-process)")
 	costs := flag.String("costs", "", "prior report JSON whose wallclocks seed longest-first dispatch (default: instance-count heuristic)")
 	simworkers := flag.Int("simworkers", 0, "partition each simulation's event queue into min(N, kernels) per-kernel-block domains (0/1 = sequential engine); all simulated metrics stay byte-identical")
+	simmode := flag.String("simmode", "", "simulation mode: merged (default; order-preserving, byte-identical) or rounds (isolated barrier-synchronous rounds, one domain per kernel; deterministic at any -simworkers/-shards but metrics differ from merged by design)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the sweep) to this file")
@@ -89,6 +92,13 @@ func realMain() int {
 	}
 	if *parallel != 0 && *shards > 0 {
 		fmt.Fprintf(os.Stderr, "warning: -parallel %d is ignored with -shards %d (each worker process runs its tasks serially)\n", *parallel, *shards)
+	}
+	switch *simmode {
+	case "", core.SimModeMerged, core.SimModeRounds:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -simmode %q; valid modes: %s, %s\n",
+			*simmode, core.SimModeMerged, core.SimModeRounds)
+		return 2
 	}
 
 	valid := map[string]bool{"all": true}
@@ -143,7 +153,14 @@ func realMain() int {
 	}
 	opts.Parallel = *parallel
 	opts.SimWorkers = *simworkers
+	opts.SimMode = *simmode
 	opts.FaultSeed = *faultseed
+	if *simworkers > opts.Kernels64 {
+		// Warn, don't clamp: the per-run construction caps the domain count
+		// at the run's kernel count anyway, so the extra workers just idle.
+		fmt.Fprintf(os.Stderr, "warning: -simworkers %d exceeds the sweep's largest kernel count (%d); extra workers will idle\n",
+			*simworkers, opts.Kernels64)
+	}
 	if *costs != "" {
 		model, err := bench.LoadCostModel(*costs)
 		if err != nil {
@@ -175,6 +192,7 @@ func realMain() int {
 	if *simworkers > 1 {
 		report.SimWorkers = *simworkers
 	}
+	report.SimMode = *simmode
 	opts.Report = report
 
 	all := want["all"]

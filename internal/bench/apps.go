@@ -42,6 +42,11 @@ type Options struct {
 	// simulated metrics are byte-identical at any setting; partitioned runs
 	// additionally report per-domain busy/idle (Result.Domains).
 	SimWorkers int
+	// SimMode selects merged (default) or isolated-rounds simulation (see
+	// core.Config.SimMode), stamped onto every planned spec. Rounds metrics
+	// are deterministic at any -simworkers/-shards setting but intentionally
+	// differ from merged: every cross-domain interaction costs NoC latency.
+	SimMode string
 	// FaultSeed seeds the deterministic fault injector of the faults
 	// experiment (-faultseed); 0 means seed 1. Identical seeds give
 	// byte-identical faulty runs at any -parallel/-shards/-simworkers.

@@ -227,6 +227,7 @@ func runWorkloadSpec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
 		Trace:      tr,
 		Engine:     eng,
 		SimWorkers: spec.SimWorkers,
+		SimMode:    spec.SimMode,
 	})
 	if err != nil {
 		return Metrics{}, nil, err

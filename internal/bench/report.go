@@ -42,8 +42,11 @@ type Report struct {
 	// SimWorkers records the run's event-queue partitioning (see
 	// Options.SimWorkers); omitted when the run used the sequential engine.
 	// Optional addition, schema unchanged.
-	SimWorkers int      `json:"simworkers,omitempty"`
-	Results    []Result `json:"results"`
+	SimWorkers int `json:"simworkers,omitempty"`
+	// SimMode records the run's simulation mode (see Options.SimMode);
+	// omitted for merged runs. Optional addition, schema unchanged.
+	SimMode string   `json:"simmode,omitempty"`
+	Results []Result `json:"results"`
 }
 
 // NewReport returns an empty report carrying the run's settings.
@@ -143,10 +146,31 @@ func (r *Report) WallclockSummary(w io.Writer, topN int) {
 		}
 	}
 	if partitioned > 0 {
+		var totalEvents uint64
+		var totalBusy int64
+		for d := 0; d <= maxDom; d++ {
+			totalEvents += domEvents[d]
+			totalBusy += domBusy[d]
+		}
 		fmt.Fprintf(w, " per-domain busy/idle (%d partitioned tasks):\n", partitioned)
 		for d := 0; d <= maxDom; d++ {
-			fmt.Fprintf(w, "  domain %d: %10.1fms busy %10.1fms idle  %d events\n",
-				d, ms(domBusy[d]), ms(domIdle[d]), domEvents[d])
+			share := 0.0
+			if totalEvents > 0 {
+				share = 100 * float64(domEvents[d]) / float64(totalEvents)
+			}
+			fmt.Fprintf(w, "  domain %d: %10.1fms busy %10.1fms idle  %d events (%.1f%%)\n",
+				d, ms(domBusy[d]), ms(domIdle[d]), domEvents[d], share)
+		}
+		// Imbalance: how far the busiest domain sits above the mean busy
+		// time — 0% means perfectly balanced, 100% means the busiest domain
+		// carried twice the mean.
+		if totalBusy > 0 {
+			mean := float64(totalBusy) / float64(maxDom+1)
+			var peak float64
+			for d := 0; d <= maxDom; d++ {
+				peak = max(peak, float64(domBusy[d]))
+			}
+			fmt.Fprintf(w, "  imbalance: %.1f%% (busiest domain vs mean busy)\n", 100*(peak-mean)/mean)
 		}
 	}
 }

@@ -95,10 +95,18 @@ func TestWorkerProtocol(t *testing.T) {
 // per-domain attribution) zeroed, so two sweeps compare on simulated data
 // only.
 func miniSweep(ex Executor, simWorkers int) []Result {
+	return miniSweepMode(ex, simWorkers, "")
+}
+
+// miniSweepMode is miniSweep with an explicit simulation mode ("" or
+// core.SimModeMerged for the order-preserving engine, core.SimModeRounds for
+// isolated rounds — see TestRoundsDeterminism).
+func miniSweepMode(ex Executor, simWorkers int, simMode string) []Result {
 	o := Quick()
 	o.Parallel = 2
 	o.Executor = ex
 	o.SimWorkers = simWorkers
+	o.SimMode = simMode
 	o.Report = NewReport(true, 1)
 	Table3(o)
 	Fig4(o, 20)

@@ -42,6 +42,11 @@ type TaskSpec struct {
 	// apply the same partitioning; simulated metrics are byte-identical at
 	// any setting.
 	SimWorkers int `json:"simworkers,omitempty"`
+	// SimMode selects merged (default) or isolated-rounds execution (see
+	// core.Config.SimMode). It travels with the spec so sharded workers run
+	// the same mode; rounds metrics are deterministic but differ from merged
+	// by design (cross-domain latency is charged, not elided).
+	SimMode string `json:"simmode,omitempty"`
 }
 
 // kindFunc executes one spec on a fresh-state engine. The second return is
@@ -136,6 +141,11 @@ func (o Options) execute(specs []TaskSpec) []Result {
 	if o.SimWorkers > 1 {
 		for i := range specs {
 			specs[i].SimWorkers = o.SimWorkers
+		}
+	}
+	if o.SimMode != "" {
+		for i := range specs {
+			specs[i].SimMode = o.SimMode
 		}
 	}
 	var rs []Result

@@ -122,7 +122,32 @@ type Kernel struct {
 	// revocation that marked it (paper Algorithm 1).
 	revocations map[ddl.Key]*revState
 
+	// Rounds-mode partitioned state (all nil/empty in merged mode, where
+	// System.services and System.dramNext stay authoritative):
+	//
+	// svcOwn holds the services this kernel registered (it is their owner
+	// and serves their sessions). svcDir is the directory slice this kernel
+	// is home for — service names hash to a home kernel, which answers
+	// ikcSvcLookup queries and filters dead owners. svcCache caches remote
+	// lookups (read-mostly: service locations never move once registered).
+	svcOwn   map[string]*serviceEntry
+	svcDir   map[string]svcLoc
+	svcCache map[string]svcLoc
+
+	// dramSpans is the kernel's pre-carved DRAM quota (system.go,
+	// carveDRAMQuota), refilled from kernel 0's central pool via
+	// ikcDRAMRefill when exhausted. dramRR round-robins across spans.
+	dramSpans []dramSpan
+	dramRR    int
+
 	stats KernelStats
+}
+
+// svcLoc is a directory-resident service location: the owning kernel and the
+// service's capability key. It is the payload of ikcSvcLookup replies.
+type svcLoc struct {
+	kernel int
+	key    ddl.Key
 }
 
 func newKernel(s *System, id int) *Kernel {
@@ -141,6 +166,11 @@ func newKernel(s *System, id int) *Kernel {
 		pending:            make(map[uint64]*sim.Future[*ikcReply]),
 		pendingDelegations: make(map[ddl.Key]*cap.Capability),
 		revocations:        make(map[ddl.Key]*revState),
+	}
+	if s.rounds {
+		k.svcOwn = make(map[string]*serviceEntry)
+		k.svcDir = make(map[string]svcLoc)
+		k.svcCache = make(map[string]svcLoc)
 	}
 	for _, pe := range s.userPEs {
 		if s.member.KernelOf(pe) == id {
@@ -305,9 +335,11 @@ func (k *Kernel) askVPE(p *sim.Proc, v *VPE, q ExchangeQuery) bool {
 	fut := sim.NewFuture[bool](k.sys.Eng)
 	cost := k.sys.Cost
 	k.sys.Net.Send(k.pe, v.PE, vpeQueryBytes, func() {
-		// The VPE's exchange handler answers after its decision time.
+		// The VPE's exchange handler answers after its decision time. The
+		// delay runs on the kernel's own domain (the VPE shares it), which
+		// merged mode executes identically to an engine-level schedule.
 		ans := v.answerExchange(q)
-		k.sys.Eng.Schedule(cost.VPEAccept, func() {
+		k.dom.Schedule(cost.VPEAccept, func() {
 			k.sys.Net.Send(v.PE, k.pe, 16, func() { fut.Complete(ans.Accept) })
 		})
 	})

@@ -167,7 +167,7 @@ func (rt *relState) track(dst int, reqs []*ikcRequest, env bool, kind ikcKind) {
 		reqs:      reqs,
 		remaining: len(reqs),
 		rto:       rt.cfg.RTOBase,
-		firstSent: rt.k.sys.Eng.Now(),
+		firstSent: rt.k.dom.Now(),
 	}
 	for _, r := range reqs {
 		rt.bySeq[r.Seq] = xm
@@ -177,7 +177,7 @@ func (rt *relState) track(dst int, reqs []*ikcRequest, env bool, kind ikcKind) {
 }
 
 func (rt *relState) arm(xm *xmitState) {
-	rt.k.sys.Eng.Schedule(xm.rto, func() { rt.expire(xm) })
+	rt.k.dom.Schedule(xm.rto, func() { rt.expire(xm) })
 }
 
 // onReply marks seq answered. When the last request of its transmission
@@ -198,7 +198,7 @@ func (rt *relState) onReply(seq uint64) {
 	k := rt.k
 	if xm.retried {
 		k.stats.Recovered++
-		k.stats.RecoveryCycles += k.sys.Eng.Now() - xm.firstSent
+		k.stats.RecoveryCycles += k.dom.Now() - xm.firstSent
 	}
 	k.inflightTo(xm.dst).Release()
 }
@@ -237,7 +237,7 @@ func (rt *relState) expire(xm *xmitState) {
 	k.stats.Retransmits++
 	k.stats.Busy += k.sys.Cost.IKCCompose
 	dk := k.sys.kernels[xm.dst]
-	k.sys.Eng.Schedule(k.sys.Cost.IKCCompose, func() {
+	k.dom.Schedule(k.sys.Cost.IKCCompose, func() {
 		if xm.done || rt.dead[xm.dst] {
 			return
 		}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"repro/internal/ddl"
+	"repro/internal/sim"
+)
+
+// Rounds-mode partitioned kernel state (Config.SimMode == "rounds").
+//
+// The merged kernel model keeps two pieces of genuinely shared state — the
+// service directory (System.services) and the DRAM allocator
+// (System.dramNext) — that any kernel mutates instantly from its own event
+// context. That is fine in merged execution, where one goroutine runs
+// everything in global order, but it pins the model off the isolated-rounds
+// runtime: an isolated domain may only touch its own state, and every
+// cross-domain interaction must cost at least the engine lookahead.
+//
+// This file partitions both:
+//
+//   - Service directory: every name hashes to a *home* kernel (svcHome).
+//     The registering kernel keeps the authoritative entry (Kernel.svcOwn,
+//     it owns the service and serves its sessions) and publishes the
+//     location to the home first — the home's directory slice
+//     (Kernel.svcDir) is the single authority on duplicates and answers
+//     ikcSvcLookup queries, filtering owners this kernel has declared dead
+//     (degraded mode). Requesters cache resolved locations
+//     (Kernel.svcCache); the cache is read-mostly sound because a service
+//     location never moves once registered.
+//
+//   - DRAM: System construction pre-carves the lower half of every memory
+//     PE into equal per-kernel quota spans (Kernel.dramSpans); the upper
+//     half stays a central pool owned by kernel 0, which grants
+//     ikcDRAMRefill requests in dramRefillChunk units when a kernel's quota
+//     runs dry.
+//
+// Both protocols ride the ordinary IKC machinery, so remote lookups,
+// registrations and refills cost real NoC latency, in-flight credits and
+// kernel CPU time — the cross-domain edges the rounds runtime requires, and
+// the reason rounds-mode metrics legitimately drift from the merged
+// baseline.
+
+// dramRefillChunk is the granularity of central-pool refill grants: a dry
+// kernel asks for at least this much, amortizing the round trip to kernel 0
+// over many subsequent local allocations.
+const dramRefillChunk = 1 << 20
+
+// svcHome returns the kernel whose directory slice holds a service name
+// (FNV-1a over the name, modulo the kernel count).
+func (s *System) svcHome(name string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return int(h % uint32(len(s.kernels)))
+}
+
+// publishService announces a freshly minted service to the name's home
+// kernel, which detects duplicates. Remote homes cost an IKC round trip.
+func (k *Kernel) publishService(p *sim.Proc, name string, key ddl.Key) Errno {
+	if home := k.sys.svcHome(name); home != k.id {
+		k.exec(p, k.sys.Cost.IKCMarshal)
+		return k.ikCall(p, home, &ikcRequest{Kind: ikcSvcRegister, Name: name, Key: key}).Err
+	}
+	if _, dup := k.svcDir[name]; dup {
+		return ErrExists
+	}
+	k.svcDir[name] = svcLoc{kernel: k.id, key: key}
+	return OK
+}
+
+// handleSvcRegister runs at the name's home kernel: record the location in
+// this kernel's directory slice, rejecting duplicates.
+func (k *Kernel) handleSvcRegister(p *sim.Proc, req *ikcRequest) *ikcReply {
+	k.exec(p, k.sys.Cost.DDLDecode)
+	if _, dup := k.svcDir[req.Name]; dup {
+		return &ikcReply{Err: ErrExists}
+	}
+	k.svcDir[req.Name] = svcLoc{kernel: req.From, key: req.Key}
+	return &ikcReply{}
+}
+
+// resolveService locates a service by name: own registrations and the local
+// directory slice answer immediately, a cached location is reused, anything
+// else asks the name's home kernel (an IKC round trip) and caches the
+// answer. Dead owners are filtered wherever the verdict is known.
+func (k *Kernel) resolveService(p *sim.Proc, name string) (svcLoc, Errno) {
+	if e := k.svcOwn[name]; e != nil {
+		return svcLoc{kernel: k.id, key: e.key}, OK
+	}
+	if k.sys.svcHome(name) == k.id {
+		loc, ok := k.svcDir[name]
+		if !ok || k.peerDead(loc.kernel) {
+			return svcLoc{}, ErrNoService
+		}
+		return loc, OK
+	}
+	if loc, ok := k.svcCache[name]; ok {
+		if k.peerDead(loc.kernel) {
+			return svcLoc{}, ErrNoService
+		}
+		return loc, OK
+	}
+	k.exec(p, k.sys.Cost.IKCMarshal)
+	rep := k.ikCall(p, k.sys.svcHome(name), &ikcRequest{Kind: ikcSvcLookup, Name: name})
+	if rep.Err != OK {
+		return svcLoc{}, rep.Err
+	}
+	loc := rep.Args.(svcLoc)
+	k.svcCache[name] = loc
+	return loc, OK
+}
+
+// handleSvcLookup runs at the name's home kernel: answer with the recorded
+// location, filtering owners the home has declared dead (degraded mode — the
+// paper's directory keeps routing decisions at the authority).
+func (k *Kernel) handleSvcLookup(p *sim.Proc, req *ikcRequest) *ikcReply {
+	k.exec(p, k.sys.Cost.DDLDecode)
+	loc, ok := k.svcDir[req.Name]
+	if !ok || k.peerDead(loc.kernel) {
+		return &ikcReply{Err: ErrNoService}
+	}
+	return &ikcReply{Args: loc}
+}
+
+// serviceLocal resolves a service this kernel owns: the partitioned svcOwn
+// slice in rounds mode, the shared directory otherwise.
+func (k *Kernel) serviceLocal(name string) *serviceEntry {
+	if k.sys.rounds {
+		return k.svcOwn[name]
+	}
+	return k.sys.service(name)
+}
+
+// allocDRAMRounds serves an allocation from the kernel's pre-carved DRAM
+// quota, round-robining across its spans. When every span is dry it refills
+// from the central pool — kernel 0 carves directly (it owns the pool),
+// everyone else pays an ikcDRAMRefill round trip — and retries. The retry
+// loop terminates: each refill adds a span that fits the request, or the
+// central pool is exhausted and the allocation fails.
+func (k *Kernel) allocDRAMRounds(p *sim.Proc, size uint64) (pe int, off uint64, errno Errno) {
+	for {
+		for try := 0; try < len(k.dramSpans); try++ {
+			i := (k.dramRR + try) % len(k.dramSpans)
+			sp := &k.dramSpans[i]
+			if sp.used+size <= sp.len {
+				pe, off = sp.pe, sp.off+sp.used
+				sp.used += size
+				k.dramRR = (i + 1) % len(k.dramSpans)
+				return pe, off, OK
+			}
+		}
+		if k.id == 0 {
+			sp, ok := k.sys.carveRefill(size)
+			if !ok {
+				return 0, 0, ErrOutOfMem
+			}
+			k.dramSpans = append(k.dramSpans, sp)
+			continue
+		}
+		k.exec(p, k.sys.Cost.IKCMarshal)
+		rep := k.ikCall(p, 0, &ikcRequest{Kind: ikcDRAMRefill, Args: size})
+		if rep.Err != OK {
+			return 0, 0, rep.Err
+		}
+		k.dramSpans = append(k.dramSpans, rep.Args.(dramSpan))
+	}
+}
+
+// carveRefill grants a refill for a request of the given size: a
+// dramRefillChunk-sized span when the pool allows the amortization, the
+// exact size as a last resort.
+func (s *System) carveRefill(size uint64) (dramSpan, bool) {
+	want := max(size, dramRefillChunk)
+	sp, ok := s.carveCentral(want)
+	if !ok && want > size {
+		sp, ok = s.carveCentral(size)
+	}
+	return sp, ok
+}
+
+// handleDRAMRefill runs at kernel 0: carve a span out of the central pool
+// for the requesting kernel's quota.
+func (k *Kernel) handleDRAMRefill(p *sim.Proc, req *ikcRequest) *ikcReply {
+	if k.id != 0 {
+		return &ikcReply{Err: ErrBadArgs}
+	}
+	k.exec(p, k.sys.Cost.DDLDecode)
+	sp, ok := k.sys.carveRefill(req.Args.(uint64))
+	if !ok {
+		return &ikcReply{Err: ErrOutOfMem}
+	}
+	return &ikcReply{Args: sp}
+}

@@ -164,11 +164,22 @@ func (k *Kernel) sysRegisterService(p *sim.Proc, req *sysRequest) *sysReply {
 	if v == nil || v.svc == nil {
 		return &sysReply{Err: ErrBadArgs}
 	}
-	if k.sys.services[req.Name] != nil {
-		return &sysReply{Err: ErrExists}
+	var key ddl.Key
+	if k.sys.rounds {
+		// Partitioned directory (rounds.go): publish to the name's home
+		// kernel first — its directory slice is the duplicate authority.
+		key = k.mintKey(v.PE, v.ID, ddl.TypeService)
+		if errno := k.publishService(p, req.Name, key); errno != OK {
+			return &sysReply{Err: errno}
+		}
+	} else {
+		if k.sys.services[req.Name] != nil {
+			return &sysReply{Err: ErrExists}
+		}
+		key = k.mintKey(v.PE, v.ID, ddl.TypeService)
 	}
 	c := &cap.Capability{
-		Key:    k.mintKey(v.PE, v.ID, ddl.TypeService),
+		Key:    key,
 		Owner:  v.ID,
 		Sel:    k.store.AllocSel(v.ID),
 		Object: &cap.ServiceObject{Name: req.Name, PE: v.PE, VPE: v.ID},
@@ -182,7 +193,12 @@ func (k *Kernel) sysRegisterService(p *sim.Proc, req *sysRequest) *sysReply {
 			q.Push(svcEvent{kind: SvcRequest, msg: m})
 		}))
 	}
-	k.sys.services[req.Name] = &serviceEntry{name: req.Name, key: c.Key, kernel: k.id, vpe: v}
+	entry := &serviceEntry{name: req.Name, key: c.Key, kernel: k.id, vpe: v}
+	if k.sys.rounds {
+		k.svcOwn[req.Name] = entry
+	} else {
+		k.sys.services[req.Name] = entry
+	}
 	return &sysReply{Sel: c.Sel}
 }
 
@@ -202,21 +218,38 @@ func (k *Kernel) sysCreateSession(p *sim.Proc, req *sysRequest) *sysReply {
 		return &sysReply{Err: ErrVPEGone}
 	}
 	k.exec(p, k.sys.Cost.DDLDecode+k.sys.Cost.CapLookup)
-	entry := k.sys.service(req.Name)
-	if entry == nil {
-		return &sysReply{Err: ErrNoService}
-	}
-	if k.peerDead(entry.kernel) {
-		// Degraded mode: the directory stops routing to a kernel this
-		// kernel has declared dead — clients get ErrNoService instead of
-		// a session doomed to fail-fast errors.
-		return &sysReply{Err: ErrNoService}
+	var loc svcLoc
+	if k.sys.rounds {
+		// Partitioned directory (rounds.go): resolve through svcOwn, the
+		// local directory slice, the lookup cache, or an IKC query to the
+		// name's home kernel. Dead-owner filtering happens at the home.
+		var errno Errno
+		loc, errno = k.resolveService(p, req.Name)
+		if errno != OK {
+			return &sysReply{Err: errno}
+		}
+	} else {
+		entry := k.sys.service(req.Name)
+		if entry == nil {
+			return &sysReply{Err: ErrNoService}
+		}
+		if k.peerDead(entry.kernel) {
+			// Degraded mode: the directory stops routing to a kernel this
+			// kernel has declared dead — clients get ErrNoService instead of
+			// a session doomed to fail-fast errors.
+			return &sysReply{Err: ErrNoService}
+		}
+		loc = svcLoc{kernel: entry.kernel, key: entry.key}
 	}
 	objID := k.gen.NextID(v.PE, v.ID)
 	var info sessionInfo
 	var parentKey ddl.Key
-	if entry.kernel == k.id {
-		svcCap := k.store.Lookup(entry.key)
+	if loc.kernel == k.id {
+		entry := k.serviceLocal(req.Name)
+		if entry == nil {
+			return &sysReply{Err: ErrNoService}
+		}
+		svcCap := k.store.Lookup(loc.key)
 		if svcCap == nil || svcCap.Marked {
 			return &sysReply{Err: ErrNoService}
 		}
@@ -232,9 +265,9 @@ func (k *Kernel) sysCreateSession(p *sim.Proc, req *sysRequest) *sysReply {
 		k.stats.Sessions++
 	} else {
 		k.exec(p, k.sys.Cost.IKCMarshal)
-		rep := k.ikCall(p, entry.kernel, &ikcRequest{
+		rep := k.ikCall(p, loc.kernel, &ikcRequest{
 			Kind:     ikcSession,
-			Key:      entry.key,
+			Key:      loc.key,
 			VPE:      v.ID,
 			Args:     req.Args,
 			ChildPE:  v.PE,
@@ -322,7 +355,7 @@ func (k *Kernel) sysObtainSess(p *sim.Proc, req *sysRequest) *sysReply {
 	objID := k.gen.NextID(v.PE, v.ID)
 
 	if svcKernel == k.id {
-		entry := k.sys.service(so.Service)
+		entry := k.serviceLocal(so.Service)
 		if entry == nil {
 			return &sysReply{Err: ErrNoService}
 		}
@@ -445,7 +478,7 @@ func (k *Kernel) sysDelegateSess(p *sim.Proc, req *sysRequest) *sysReply {
 	svcKernel := k.member.KernelOfKey(sess.Parent)
 
 	if svcKernel == k.id {
-		entry := k.sys.service(so.Service)
+		entry := k.serviceLocal(so.Service)
 		if entry == nil {
 			return &sysReply{Err: ErrNoService}
 		}

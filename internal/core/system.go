@@ -61,16 +61,41 @@ type Config struct {
 	// SimWorkers partitions the simulation's event queue into
 	// min(SimWorkers, Kernels) domains — one per contiguous block of
 	// kernels, each kernel owning its PE group — with the NoC's minimum
-	// cross-PE latency as the lookahead bound. The kernel model has
-	// zero-lookahead cross-domain edges (see DESIGN.md: instantaneous
-	// in-flight credit returns, shared service directory and DRAM
-	// allocator), so the engine runs the domains through the
-	// order-preserving merged loop: every simulated metric stays
-	// byte-identical to the sequential engine at any setting, and the
-	// partitioning yields per-domain busy/idle attribution
-	// (sim.Engine.DomainStats). 0 or 1 keeps the sequential fast path.
+	// cross-PE latency as the lookahead bound. In merged mode (the
+	// default) the engine runs the domains through the order-preserving
+	// merged loop: every simulated metric stays byte-identical to the
+	// sequential engine at any setting, and the partitioning yields
+	// per-domain busy/idle attribution (sim.Engine.DomainStats). 0 or 1
+	// keeps the sequential fast path. Under SimModeRounds, SimWorkers
+	// only sizes the execution pool — the domain layout is always one
+	// domain per kernel, so metrics are identical at any worker count.
 	SimWorkers int
+	// SimMode selects the execution mode of a partitioned engine:
+	//
+	//   - "" or "merged": the order-preserving merged loop. Metrics are
+	//     byte-identical to the sequential engine; SimWorkers buys
+	//     busy/idle attribution only.
+	//   - "rounds": genuine conservative-PDES isolated rounds. Every
+	//     kernel (with its PE group) gets its own domain, every
+	//     cross-domain interaction costs at least one NoC latency (credit
+	//     returns ride credit messages, service lookups and DRAM refills
+	//     ride IKC), and the engine advances domains concurrently on
+	//     SimWorkers workers. Metrics drift from the merged baseline —
+	//     deterministically, identically at any worker count — and a
+	//     single multi-kernel run scales with cores. Incompatible with
+	//     Faults and NoC contention, whose state is shared across all
+	//     senders.
+	SimMode string
 }
+
+// SimMode values for Config.SimMode.
+const (
+	SimModeMerged = "merged"
+	SimModeRounds = "rounds"
+)
+
+// roundsMode reports whether the config selects isolated-rounds execution.
+func (c Config) roundsMode() bool { return c.SimMode == SimModeRounds }
 
 // batchingPolicy resolves the effective transport policy: the deprecated
 // RevokeBatching alias folds into IKCBatching.Revoke, and flush parameters
@@ -109,6 +134,18 @@ func (c Config) Validate() error {
 	if perKernel > MaxPEsPerKernel {
 		return fmt.Errorf("core: %d PEs per kernel exceed the maximum of %d", perKernel, MaxPEsPerKernel)
 	}
+	switch c.SimMode {
+	case "", SimModeMerged:
+	case SimModeRounds:
+		if c.Faults != nil {
+			return errors.New("core: SimMode rounds is incompatible with fault injection (shared injector state); use merged mode")
+		}
+		if c.Noc != nil && c.Noc.Contention {
+			return errors.New("core: SimMode rounds is incompatible with NoC contention (shared link state); use merged mode")
+		}
+	default:
+		return fmt.Errorf("core: unknown SimMode %q (valid: %q, %q)", c.SimMode, SimModeMerged, SimModeRounds)
+	}
 	return nil
 }
 
@@ -137,10 +174,21 @@ type System struct {
 	rel *Reliability
 	inj *fault.Injector
 
+	// rounds marks isolated-rounds execution (Config.SimMode == "rounds"):
+	// the shared directory and DRAM state below stay untouched, replaced by
+	// the per-kernel partitioned state on Kernel plus the central DRAM
+	// remainder here (centralNext, single-writer: kernel 0's domain).
+	rounds bool
+
 	services map[string]*serviceEntry
 	dramNext []uint64
 	dramRR   int
-	nextVPE  int
+	// centralNext is the rounds-mode central DRAM pool: the next free offset
+	// per memory PE in the un-carved upper half of its capacity. Only kernel
+	// 0 (the refill grantor) touches it, so it needs no further partitioning.
+	centralNext []uint64
+	centralRR   int
+	nextVPE     int
 }
 
 type serviceEntry struct {
@@ -148,6 +196,15 @@ type serviceEntry struct {
 	key    ddl.Key
 	kernel int
 	vpe    *VPE
+}
+
+// dramSpan is one contiguous pre-carved slice of a memory PE, the unit of
+// the rounds-mode per-kernel DRAM quota.
+type dramSpan struct {
+	pe   int
+	off  uint64
+	len  uint64
+	used uint64
 }
 
 // NewSystem builds and boots a machine. PE numbering: kernels occupy PEs
@@ -199,12 +256,39 @@ func NewSystem(cfg Config) (*System, error) {
 		s.inj = fault.NewInjector(*cfg.Faults, cfg.Kernels)
 		net.SetInjector(s.inj)
 	}
-	// Partition the event queue per NoC domain: contiguous blocks of
-	// kernels (with their PE groups) map onto min(SimWorkers, Kernels)
-	// domains, and the network's minimum cross-PE latency becomes the
-	// engine's lookahead bound. See Config.SimWorkers for why the kernel
-	// model runs these domains in the order-preserving merged mode.
-	if d := min(cfg.SimWorkers, cfg.Kernels); d > 1 {
+	s.rounds = cfg.roundsMode()
+	switch {
+	case s.rounds && cfg.Kernels > 1:
+		// Isolated rounds: one domain per kernel, always — the layout must
+		// not depend on SimWorkers, or metrics would vary with the worker
+		// count. SimWorkers only sizes the engine's execution pool. The
+		// domain table is topology-aware: user PEs follow their group kernel
+		// (contiguous blocks, so groups align with mesh rows) and each
+		// memory PE joins its nearest kernel's domain instead of kernel 0's,
+		// keeping its traffic on short same-domain paths. The lookahead is
+		// the minimum latency across the resulting cut, at least MinLatency.
+		s.doms = make([]*sim.Domain, cfg.Kernels)
+		s.doms[0] = eng.Domain(0)
+		for i := 1; i < cfg.Kernels; i++ {
+			s.doms[i] = eng.NewDomain()
+		}
+		s.kernelDom = s.doms
+		nodeDoms := make([]*sim.Domain, nodes)
+		for pe := range nodeDoms {
+			nodeDoms[pe] = s.kernelDom[s.domainKernelOfNode(pe)]
+		}
+		net.BindDomains(nodeDoms)
+		net.SetIsolated(true)
+		eng.SetLookahead(net.MinLatencyAcross(s.domainKernelOfNode))
+		eng.SetIsolated(true)
+		eng.SetWorkers(max(cfg.SimWorkers, 1))
+	case min(cfg.SimWorkers, cfg.Kernels) > 1:
+		// Merged mode: contiguous blocks of kernels (with their PE groups)
+		// map onto min(SimWorkers, Kernels) domains, and the network's
+		// minimum cross-PE latency becomes the engine's lookahead bound.
+		// The order-preserving merged loop keeps every metric byte-identical
+		// to the sequential engine; the partitioning buys attribution.
+		d := min(cfg.SimWorkers, cfg.Kernels)
 		s.doms = make([]*sim.Domain, d)
 		s.doms[0] = eng.Domain(0)
 		for i := 1; i < d; i++ {
@@ -246,7 +330,45 @@ func NewSystem(cfg Config) (*System, error) {
 	for k := 0; k < cfg.Kernels; k++ {
 		s.kernels = append(s.kernels, newKernel(s, k))
 	}
+	if s.rounds {
+		s.carveDRAMQuota()
+	}
 	return s, nil
+}
+
+// carveDRAMQuota pre-carves half of every memory PE into equal per-kernel
+// spans (the rounds-mode DRAM quota); the upper half stays central, owned by
+// kernel 0 and handed out in ikcDRAMRefill grants. Allocation thereby never
+// touches shared state from a kernel's own domain.
+func (s *System) carveDRAMQuota() {
+	half := uint64(s.cfg.MemBytes) / 2
+	per := half / uint64(s.cfg.Kernels)
+	s.centralNext = make([]uint64, len(s.memPEs))
+	for i, pe := range s.memPEs {
+		s.centralNext[i] = half
+		if per == 0 {
+			continue
+		}
+		for ki, k := range s.kernels {
+			k.dramSpans = append(k.dramSpans, dramSpan{pe: pe, off: uint64(ki) * per, len: per})
+		}
+	}
+}
+
+// carveCentral carves size bytes out of the central DRAM pool (round-robin
+// across memory PEs). Rounds mode only; the sole caller is kernel 0 — on its
+// own domain — granting refills or allocating for itself.
+func (s *System) carveCentral(size uint64) (dramSpan, bool) {
+	for try := 0; try < len(s.memPEs); try++ {
+		i := (s.centralRR + try) % len(s.memPEs)
+		if s.centralNext[i]+size <= uint64(s.cfg.MemBytes) {
+			sp := dramSpan{pe: s.memPEs[i], off: s.centralNext[i], len: size}
+			s.centralNext[i] += size
+			s.centralRR = (i + 1) % len(s.memPEs)
+			return sp, true
+		}
+	}
+	return dramSpan{}, false
 }
 
 // kernelIDOfNode returns the kernel managing a PE purely from the config's
@@ -262,6 +384,25 @@ func (s *System) kernelIDOfNode(pe int) int {
 	default:
 		return 0
 	}
+}
+
+// domainKernelOfNode returns the kernel whose domain a PE joins under
+// isolated rounds. Kernel and user PEs follow kernelIDOfNode — the contiguous
+// PE groups align with mesh rows, keeping the cross-domain cut tight — but
+// memory PEs join the nearest kernel's domain (by hop count, ties to the
+// lower kernel id) rather than kernel 0's, so DRAM traffic stays on short
+// same-domain paths where the topology allows it.
+func (s *System) domainKernelOfNode(pe int) int {
+	if pe < s.cfg.Kernels+s.cfg.UserPEs {
+		return s.kernelIDOfNode(pe)
+	}
+	best, bestH := 0, int(^uint(0)>>1)
+	for k := 0; k < s.cfg.Kernels; k++ {
+		if h := s.Net.Hops(pe, k); h < bestH {
+			best, bestH = k, h
+		}
+	}
+	return best
 }
 
 // domainOfKernel returns the event domain kernel k runs on: its assigned

@@ -345,7 +345,7 @@ func (t *transport) enqueue(p *sim.Proc, dst int, req *ikcRequest) *sim.Future[*
 		t.flushLocked(p, key)
 	} else if len(q.reqs) == 1 {
 		epoch := q.epoch
-		k.sys.Eng.Schedule(q.window, func() { t.timerFire(key, epoch) })
+		k.dom.Schedule(q.window, func() { t.timerFire(key, epoch) })
 	}
 	return fut
 }
@@ -512,7 +512,7 @@ func (t *transport) flushReplies(key rkey) {
 	for i, r := range reps {
 		items[i] = dtu.VecItem{Payload: r, Size: ikcBatchedRepBytes}
 	}
-	k.sys.Eng.Schedule(k.sys.Cost.IKCCompose, func() {
+	k.dom.Schedule(k.sys.Cost.IKCCompose, func() {
 		must(k.dtu.SendVecTo(dk.pe, ikcReplyEP, items))
 	})
 }

@@ -101,6 +101,19 @@ type Network struct {
 	// event domain (conservative PDES partitioning, see internal/sim). Nil
 	// means all deliveries use the engine's current lane, as before.
 	domains []*sim.Domain
+	// isolated switches the network to its isolated-rounds discipline: all
+	// mutable send-path state is sharded per source node (each node's sends
+	// execute only on its own domain, so every shard has a single writer),
+	// the clock is the sending node's domain-local clock, and cross-domain
+	// deliveries travel as posts. Requires bound domains; forbids contention
+	// and injectors, whose state is inherently cross-domain.
+	isolated bool
+	// srcStats/srcLast shard the activity counters and the per-pair FIFO
+	// horizon by source node; lostAt shards the receiver-side loss counter by
+	// receiving node. Allocated by SetIsolated.
+	srcStats []Stats
+	srcLast  []map[int]sim.Time
+	lostAt   []uint64
 	// inj, when set, decides per message whether to drop, duplicate or
 	// delay it (fault injection). Nil means the lossless fabric.
 	inj Injector
@@ -135,12 +148,37 @@ func New(eng *sim.Engine, cfg Config) *Network {
 // Nodes returns the number of attached PEs.
 func (n *Network) Nodes() int { return n.cfg.Nodes }
 
-// Stats returns a snapshot of the activity counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a snapshot of the activity counters. In isolated mode it
+// sums the per-node shards; call it only while no round is in flight.
+func (n *Network) Stats() Stats {
+	if !n.isolated {
+		return n.stats
+	}
+	out := n.stats
+	for i := range n.srcStats {
+		s := &n.srcStats[i]
+		out.Messages += s.Messages
+		out.Bytes += s.Bytes
+		out.HopsSum += s.HopsSum
+		out.Lost += s.Lost
+	}
+	for _, l := range n.lostAt {
+		out.Lost += l
+	}
+	return out
+}
 
 // CountLost increments the lost-message counter; receivers (DTUs) call it
-// when a message arrives and no slot is free.
-func (n *Network) CountLost() { n.stats.Lost++ }
+// from the delivery event when a message arrives at node and no slot is
+// free. In isolated mode the count lands in the receiving node's shard —
+// the delivery executes on that node's domain, its single writer.
+func (n *Network) CountLost(node int) {
+	if n.isolated {
+		n.lostAt[node]++
+		return
+	}
+	n.stats.Lost++
+}
 
 func (n *Network) coord(node int) (x, y int) {
 	return node % n.width, node / n.width
@@ -178,6 +216,64 @@ func (n *Network) BindDomains(domains []*sim.Domain) {
 // nil restores the lossless fabric.
 func (n *Network) SetInjector(inj Injector) { n.inj = inj }
 
+// SetIsolated switches the network to the isolated-rounds send discipline
+// (see the Network field docs). Domains must be bound first; contention and
+// injectors are incompatible — their state is shared across all senders.
+func (n *Network) SetIsolated(iso bool) {
+	if !iso {
+		n.isolated = false
+		return
+	}
+	if n.domains == nil {
+		panic("noc: SetIsolated requires bound domains")
+	}
+	if n.cfg.Contention {
+		panic("noc: contention is incompatible with isolated rounds (shared link state)")
+	}
+	if n.inj != nil {
+		panic("noc: fault injection is incompatible with isolated rounds (shared injector state)")
+	}
+	n.isolated = true
+	if n.srcStats == nil {
+		n.srcStats = make([]Stats, n.cfg.Nodes)
+		n.srcLast = make([]map[int]sim.Time, n.cfg.Nodes)
+		for i := range n.srcLast {
+			n.srcLast[i] = make(map[int]sim.Time)
+		}
+		n.lostAt = make([]uint64, n.cfg.Nodes)
+	}
+}
+
+// MinLatencyAcross returns the minimum latency of any message between nodes
+// in different domains under the given node→domain assignment — the tight
+// lookahead bound for isolated rounds. Same-domain traffic does not
+// constrain the horizon, so an assignment aligned with the mesh topology
+// (groups on contiguous rows) yields a bound at least as large as
+// MinLatency and lets each round cover more local work.
+func (n *Network) MinLatencyAcross(domainOf func(node int) int) sim.Duration {
+	minHops := -1
+	for src := 0; src < n.cfg.Nodes && minHops != 1; src++ {
+		d := domainOf(src)
+		for dst := 0; dst < n.cfg.Nodes; dst++ {
+			if domainOf(dst) == d {
+				continue
+			}
+			if h := n.Hops(src, dst); minHops < 0 || h < minHops {
+				minHops = h
+				if minHops == 1 {
+					break
+				}
+			}
+		}
+	}
+	if minHops < 0 {
+		// Single domain: no cross-domain traffic exists; fall back to the
+		// plain bound so the caller still gets a positive lookahead.
+		return n.MinLatency()
+	}
+	return n.cfg.BaseLatency + sim.Duration(minHops)*(n.cfg.HopLatency+n.cfg.RouterLatency) + n.cfg.FlitLatency
+}
+
 // Latency returns the uncontended latency for a message of the given size.
 func (n *Network) Latency(src, dst, size int) sim.Duration {
 	hops := sim.Duration(n.Hops(src, dst))
@@ -201,6 +297,10 @@ func (n *Network) Latency(src, dst, size int) sim.Duration {
 func (n *Network) Send(src, dst, size int, deliver func()) {
 	n.checkNode(src)
 	n.checkNode(dst)
+	if n.isolated {
+		n.sendIsolated(src, dst, size, deliver)
+		return
+	}
 	n.stats.Messages++
 	n.stats.Bytes += uint64(size)
 	n.stats.HopsSum += uint64(n.Hops(src, dst))
@@ -245,6 +345,32 @@ func (n *Network) scheduleDeliver(dst int, at sim.Time, deliver func()) {
 		return
 	}
 	n.eng.At(at, deliver)
+}
+
+// sendIsolated is Send under the isolated-rounds discipline: all mutable
+// state is the sending node's single-writer shard, the clock is the sending
+// node's domain-local clock, and a cross-domain delivery travels as a post.
+// Its delay is at least the engine lookahead by construction: the pair is
+// cross-domain, so its latency is bounded below by MinLatencyAcross, and the
+// FIFO clamp only pushes arrival further out.
+func (n *Network) sendIsolated(src, dst, size int, deliver func()) {
+	st := &n.srcStats[src]
+	st.Messages++
+	st.Bytes += uint64(size)
+	st.HopsSum += uint64(n.Hops(src, dst))
+	sd := n.domains[src]
+	now := sd.Now()
+	arrival := now + n.Latency(src, dst, size)
+	if last, ok := n.srcLast[src][dst]; ok && arrival < last {
+		arrival = last
+	}
+	n.srcLast[src][dst] = arrival
+	dd := n.domains[dst]
+	if dd == sd {
+		sd.At(arrival, deliver)
+		return
+	}
+	sd.Post(dd, arrival-now, deliver)
 }
 
 // directions for XY routing link identifiers.

@@ -72,6 +72,10 @@ type Domain struct {
 	// inbox[src] buffers cross-domain posts from domain src during a round;
 	// src's worker is the only writer until the barrier drains it.
 	inbox [][]post
+	// postedOut counts cross-domain posts this domain made in the current
+	// round (single writer: the domain's own worker). The barrier sums the
+	// counters to skip the inbox drain on post-free rounds — the common case.
+	postedOut int
 	// Wallclock accounting, filled by the multi-domain run loops.
 	busy   time.Duration
 	events uint64
@@ -231,6 +235,7 @@ func (dm *Domain) Post(dst *Domain, d Duration, fn func()) {
 	if d < e.lookahead {
 		panic(fmt.Sprintf("sim: cross-domain post with delay %d below the lookahead %d", d, e.lookahead))
 	}
+	dm.postedOut++
 	dst.inbox[dm.id] = append(dst.inbox[dm.id], post{at: dm.rnow + d, fn: fn})
 }
 
@@ -429,36 +434,63 @@ func (e *Engine) runIsolated() {
 			dm.inbox = append(dm.inbox, nil)
 		}
 	}
-	work := make(chan *Domain, D)
-	done := make(chan roundResult, D)
-	for w := 0; w < workers; w++ {
-		go e.domainWorker(work, done)
+	var work chan *Domain
+	var done chan roundResult
+	if workers > 1 {
+		work = make(chan *Domain, D)
+		done = make(chan roundResult, D)
+		for w := 0; w < workers; w++ {
+			go e.domainWorker(work, done)
+		}
+		defer close(work)
 	}
-	defer close(work)
 	// Engine-level scheduling has no defined lane while domains run
 	// concurrently; a nil cur turns it into a contract-violation panic.
 	e.cur = nil
 	defer func() { e.cur = &e.root }()
 	start := time.Now()
 	defer func() { e.runWall += time.Since(start) }()
+	// mark is the single-worker path's running clock: one time.Now per round
+	// slice (the slice plus the preceding barrier bookkeeping all attribute
+	// to the executing domain, like merged-mode switch-point accounting).
+	mark := start
+	// nextAt caches each domain's next pending timestamp for the round
+	// (sentinel noEvent: empty), so the gmin scan and the dispatch scan
+	// share one peek pass.
+	const noEvent = ^Time(0)
+	nextAt := make([]Time, D)
 	for {
 		// Deliver the previous round's posts: source-major, append order,
 		// fresh destination seqs — deterministic regardless of workers. The
-		// lookahead guarantees at > dst.rnow, so these are heap events.
-		for _, dst := range e.doms {
-			for src := range dst.inbox {
-				box := dst.inbox[src]
-				for i := range box {
-					dst.rseq++
-					dst.heapPush(event{at: box[i].at, seq: dst.rseq, fn: box[i].fn})
-					box[i].fn = nil
+		// lookahead guarantees at > dst.rnow, so these are heap events. The
+		// per-source counters let post-free rounds skip the D² drain.
+		posted := 0
+		for _, src := range e.doms {
+			posted += src.postedOut
+			src.postedOut = 0
+		}
+		if posted > 0 {
+			for _, dst := range e.doms {
+				for src := range dst.inbox {
+					box := dst.inbox[src]
+					for i := range box {
+						dst.rseq++
+						dst.heapPush(event{at: box[i].at, seq: dst.rseq, fn: box[i].fn})
+						box[i].fn = nil
+					}
+					dst.inbox[src] = box[:0]
 				}
-				dst.inbox[src] = box[:0]
 			}
 		}
 		gmin, any := Time(0), false
-		for _, dm := range e.doms {
-			if ev, ok := dm.peek(dm.rnow); ok && (!any || ev.at < gmin) {
+		for i, dm := range e.doms {
+			ev, ok := dm.peek(dm.rnow)
+			if !ok {
+				nextAt[i] = noEvent
+				continue
+			}
+			nextAt[i] = ev.at
+			if !any || ev.at < gmin {
 				gmin, any = ev.at, true
 			}
 		}
@@ -466,25 +498,43 @@ func (e *Engine) runIsolated() {
 			break
 		}
 		e.horizon = gmin + e.lookahead
-		n := 0
-		for _, dm := range e.doms {
-			if ev, ok := dm.peek(dm.rnow); ok && ev.at < e.horizon {
-				n++
-				work <- dm
-			}
-		}
-		var fault error
-		faultDom := -1
-		for i := 0; i < n; i++ {
-			r := <-done
-			e.executed += r.executed
-			if r.fault != nil && (faultDom < 0 || r.dom.id < faultDom) {
-				fault, faultDom = r.fault, r.dom.id
-			}
-		}
 		// Faults surface on the driving goroutine after the barrier, so they
 		// are recoverable by callers and deterministic: when several domains
-		// fault in one round, the lowest domain id wins.
+		// fault in one round, the lowest domain id wins. The single-worker
+		// path runs the round slices inline — same domain order, same
+		// whole-round-before-panic semantics — skipping the channel handoffs
+		// (and, on few cores, their context switches) entirely.
+		var fault error
+		faultDom := -1
+		if workers == 1 {
+			for i, dm := range e.doms {
+				if at := nextAt[i]; at < e.horizon {
+					executed, f := dm.runRound(e.horizon)
+					now := time.Now()
+					dm.busy += now.Sub(mark)
+					mark = now
+					e.executed += executed
+					if f != nil && faultDom < 0 {
+						fault, faultDom = f, dm.id
+					}
+				}
+			}
+		} else {
+			n := 0
+			for i, dm := range e.doms {
+				if at := nextAt[i]; at < e.horizon {
+					n++
+					work <- dm
+				}
+			}
+			for i := 0; i < n; i++ {
+				r := <-done
+				e.executed += r.executed
+				if r.fault != nil && (faultDom < 0 || r.dom.id < faultDom) {
+					fault, faultDom = r.fault, r.dom.id
+				}
+			}
+		}
 		if fault != nil {
 			panic(fault)
 		}

@@ -29,6 +29,9 @@ type Config struct {
 	// SimWorkers partitions the engine's event queue per kernel block; see
 	// core.Config.SimWorkers. Metrics are byte-identical at any setting.
 	SimWorkers int
+	// SimMode selects merged (default, byte-identical) or rounds execution;
+	// see core.Config.SimMode.
+	SimMode string
 }
 
 // Result aggregates one experiment run.
@@ -170,6 +173,7 @@ func Run(cfg Config) (*Result, error) {
 		MemBytes:   1 << 40, // accounting only; backing is lazily allocated
 		Engine:     cfg.Engine,
 		SimWorkers: cfg.SimWorkers,
+		SimMode:    cfg.SimMode,
 	})
 	if err != nil {
 		return nil, err
@@ -192,6 +196,7 @@ func Run(cfg Config) (*Result, error) {
 	// Services: spawn each with the preloads of its assigned instances.
 	ready := make([]*sim.Future[*m3fs.FS], cfg.Services)
 	var allReady sim.WaitGroup
+	allReady.Bind(sys.Eng) // home the waitgroup for cross-domain waiters
 	allReady.Add(cfg.Services)
 	for j := 0; j < cfg.Services; j++ {
 		j := j
