@@ -44,7 +44,7 @@ var experimentNames = []string{
 	"table3", "fig4", "fig5", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
 }
 
-var extraExperimentNames = []string{"ablation-ikc", "faults"}
+var extraExperimentNames = []string{"ablation-ikc", "faults", "scale"}
 
 func main() {
 	// realMain holds all the defers (profile flushing, worker shutdown, file
@@ -54,7 +54,7 @@ func main() {
 }
 
 func realMain() int {
-	experiment := flag.String("experiment", "all", "comma-separated list: table3,fig4,fig5,table4,fig6,fig7,fig8,fig9,fig10,ablation,all; extras (opt-in, excluded from all): ablation-ikc, faults")
+	experiment := flag.String("experiment", "all", "comma-separated list: table3,fig4,fig5,table4,fig6,fig7,fig8,fig9,fig10,ablation,all; extras (opt-in, excluded from all): ablation-ikc, faults, scale")
 	quick := flag.Bool("quick", false, "run at reduced scale (64 instances, 8 kernels)")
 	parallel := flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS); ignored with -shards")
 	shards := flag.Int("shards", 0, "execute the sweep on N worker processes (0 = in-process)")
@@ -65,6 +65,8 @@ func realMain() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the sweep) to this file")
 	faultseed := flag.Uint64("faultseed", 1, "seed of the deterministic fault injector (faults experiment); identical seeds reproduce runs byte-identically at any -parallel/-shards/-simworkers")
+	scalekernels := flag.Int("scalekernels", 0, "cap the scale experiment's grid at this many kernels (0 = the full grid up to 1024)")
+	scalebudget := flag.Duration("scalebudget", 10*time.Minute, "wall-clock budget of the scale experiment; grid points past it are skipped (0 = unlimited)")
 	worker := flag.Bool("worker", false, "internal: serve the shard worker protocol on stdin/stdout")
 	flag.Parse()
 
@@ -247,6 +249,7 @@ func realMain() int {
 	run("ablation", func() { bench.AblationBatching(opts, 128, 12).Print(os.Stdout) })
 	runExtra("ablation-ikc", func() { bench.AblationIKC(opts, 96, 12).Print(os.Stdout) })
 	runExtra("faults", func() { bench.Faults(opts, 64, 8).Print(os.Stdout) })
+	runExtra("scale", func() { bench.Scale(opts, *scalekernels, *scalebudget).Print(os.Stdout) })
 
 	fmt.Printf("[%d experiments, %d workers, total %v]\n", ran, workers, total.Round(time.Millisecond))
 	report.WallclockSummary(os.Stdout, 10)

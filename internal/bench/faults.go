@@ -63,7 +63,10 @@ type faultsAux struct {
 	InjDuplicated      uint64 `json:"injduplicated"`
 	InjDelayed         uint64 `json:"injdelayed"`
 	InjBlackholed      uint64 `json:"injblackholed"`
+	CapsCreated        uint64 `json:"capscreated"`
 }
+
+func (a faultsAux) capsMinted() uint64 { return a.CapsCreated }
 
 // faultsSystem builds the fan-out machine of the transport ablation with a
 // fault plan attached (both IKC batching families on, so envelopes and
@@ -253,6 +256,7 @@ func runFaultsSpec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
 		InjDuplicated:      fs.Duplicated,
 		InjDelayed:         fs.Delayed,
 		InjBlackholed:      fs.Blackholed,
+		CapsCreated:        st.CapsCreated,
 	}
 	return m, aux, nil
 }

@@ -89,7 +89,17 @@ type Result struct {
 	Config      ExpConfig `json:"config"`
 	Metrics     Metrics   `json:"metrics"`
 	WallclockNS int64     `json:"wallclock_ns"`
-	Error       string    `json:"error,omitempty"`
+	// CapsMinted is the number of capabilities the run's kernels created,
+	// lifted from the aux payload of kinds that report one (see capsMinter
+	// in spec.go); zero for kinds that do not. HeapPeakBytes is the process
+	// heap in use (runtime.MemStats.HeapAlloc) when the task finished — an
+	// approximation of the run's footprint that is process-global and, like
+	// WallclockNS, varies run to run; determinism comparisons must ignore
+	// both. Together they back the wallclock summary's capsalloc/capsbytes
+	// line.
+	CapsMinted    uint64 `json:"capsminted,omitempty"`
+	HeapPeakBytes uint64 `json:"heappeak_bytes,omitempty"`
+	Error         string `json:"error,omitempty"`
 	// Aux carries experiment-specific side data (a workload's makespan, an
 	// ablation's message count, ...) from the run function to the
 	// post-process step, across the worker protocol when the sweep is
@@ -174,6 +184,9 @@ func runTask(t Task) (res Result) {
 		}
 	}()
 	m, err := t.Run(eng)
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	res.HeapPeakBytes = mem.HeapAlloc
 	if ds := eng.DomainStats(); len(ds) > 1 {
 		res.Domains = make([]DomainWallclock, len(ds))
 		for i, d := range ds {
@@ -208,10 +221,14 @@ const kindWorkload = "workload"
 
 // workloadAux is the side data of a workload run: the makespan, which
 // Table 4 needs (its headline cycle metric and the denominator of the
-// ops/s rate) while the efficiency sweeps do not.
+// ops/s rate) while the efficiency sweeps do not, and the total
+// capabilities minted, which feeds Result.CapsMinted.
 type workloadAux struct {
-	Makespan uint64 `json:"makespan"`
+	Makespan    uint64 `json:"makespan"`
+	CapsCreated uint64 `json:"capscreated"`
 }
+
+func (a workloadAux) capsMinted() uint64 { return a.CapsCreated }
 
 func init() { registerKind(kindWorkload, runWorkloadSpec) }
 
@@ -233,7 +250,7 @@ func runWorkloadSpec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
 		return Metrics{}, nil, err
 	}
 	m := Metrics{Cycles: uint64(r.MeanRuntime()), CapOps: r.TotalCapOps, LostMsgs: r.LostMsgs}
-	return m, workloadAux{Makespan: uint64(r.Makespan)}, nil
+	return m, workloadAux{Makespan: uint64(r.Makespan), CapsCreated: r.Kernel.CapsCreated}, nil
 }
 
 // workloadSpecs plans one kind-"workload" spec per config.

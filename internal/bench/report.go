@@ -126,6 +126,20 @@ func (r *Report) WallclockSummary(w io.Writer, topN int) {
 		fmt.Fprintf(w, "  %10.1fms  %-12s (%d tasks)\n", ms(groupTotal[g]), g, groupTasks[g])
 	}
 
+	// Allocation profile: total capabilities minted across all tasks that
+	// report a count, and the largest end-of-task heap any single task saw
+	// (a process-global HeapAlloc reading — an RSS-style ceiling, not a
+	// per-task attribution).
+	var capsalloc, capsbytes uint64
+	for _, res := range r.Results {
+		capsalloc += res.CapsMinted
+		capsbytes = max(capsbytes, res.HeapPeakBytes)
+	}
+	if capsalloc > 0 || capsbytes > 0 {
+		fmt.Fprintf(w, " capsalloc: %d caps minted   capsbytes: %.1f MiB peak task heap\n",
+			capsalloc, float64(capsbytes)/(1<<20))
+	}
+
 	// Partitioned runs: aggregate the per-domain busy/idle attribution over
 	// all tasks that ran with a partitioned engine, so a sweep shows where
 	// its event work concentrated (domain 0 hosts kernel 0 and with it the

@@ -67,34 +67,47 @@ func registerKind(name string, fn kindFunc) {
 	kinds[name] = fn
 }
 
+// capsMinter is implemented by aux payloads that know how many capabilities
+// their run minted. runSpecOn lifts the count into Result.CapsMinted (via
+// the captured pointer in specTask) while the typed aux value is still in
+// hand, so the wallclock summary's capsalloc line needs no aux decoding.
+type capsMinter interface{ capsMinted() uint64 }
+
 // runSpecOn resolves the spec's kind and executes it, marshaling the aux
 // payload so the in-process path produces bit-identical Results to the
-// worker protocol (which ships the same bytes).
-func runSpecOn(spec TaskSpec, eng *sim.Engine) (Metrics, json.RawMessage, error) {
+// worker protocol (which ships the same bytes). The third return is the
+// minted-capability count of aux payloads that report one (else zero).
+func runSpecOn(spec TaskSpec, eng *sim.Engine) (Metrics, json.RawMessage, uint64, error) {
 	fn, ok := kinds[spec.Kind]
 	if !ok {
-		return Metrics{}, nil, fmt.Errorf("bench: unknown task kind %q", spec.Kind)
+		return Metrics{}, nil, 0, fmt.Errorf("bench: unknown task kind %q", spec.Kind)
 	}
 	m, aux, err := fn(spec, eng)
 	if err != nil || aux == nil {
-		return m, nil, err
+		return m, nil, 0, err
+	}
+	var minted uint64
+	if cm, ok := aux.(capsMinter); ok {
+		minted = cm.capsMinted()
 	}
 	raw, err := json.Marshal(aux)
 	if err != nil {
-		return m, nil, fmt.Errorf("bench: marshaling %s aux: %w", spec.Kind, err)
+		return m, nil, 0, fmt.Errorf("bench: marshaling %s aux: %w", spec.Kind, err)
 	}
-	return m, raw, nil
+	return m, raw, minted, nil
 }
 
 // specTask adapts a spec to the Task machinery, capturing the aux payload
-// into *aux (Task.Run only returns Metrics).
-func specTask(spec TaskSpec, aux *json.RawMessage) Task {
+// into *aux and the minted-capability count into *minted (Task.Run only
+// returns Metrics).
+func specTask(spec TaskSpec, aux *json.RawMessage, minted *uint64) Task {
 	return Task{
 		Experiment: spec.Experiment,
 		Config:     spec.Config,
 		Run: func(eng *sim.Engine) (Metrics, error) {
-			m, a, err := runSpecOn(spec, eng)
+			m, a, cm, err := runSpecOn(spec, eng)
 			*aux = a
+			*minted = cm
 			return m, err
 		},
 	}
@@ -104,8 +117,10 @@ func specTask(spec TaskSpec, aux *json.RawMessage) Task {
 // panics — the worker's unit of work.
 func RunSpec(spec TaskSpec) Result {
 	var aux json.RawMessage
-	res := runTask(specTask(spec, &aux))
+	var minted uint64
+	res := runTask(specTask(spec, &aux, &minted))
 	res.Aux = aux
+	res.CapsMinted = minted
 	return res
 }
 
@@ -118,12 +133,14 @@ func RunSpec(spec TaskSpec) Result {
 func RunSpecs(parallel int, specs []TaskSpec, costs *CostModel) []Result {
 	tasks := make([]Task, len(specs))
 	auxes := make([]json.RawMessage, len(specs))
+	minted := make([]uint64, len(specs))
 	for i, spec := range specs {
-		tasks[i] = specTask(spec, &auxes[i])
+		tasks[i] = specTask(spec, &auxes[i], &minted[i])
 	}
 	results := runTasksOrdered(parallel, tasks, costs.Order(specs))
 	for i := range results {
 		results[i].Aux = auxes[i]
+		results[i].CapsMinted = minted[i]
 	}
 	return results
 }

@@ -7,15 +7,29 @@
 // children in the system-wide capability tree. Parent/child links may cross
 // kernels; this package only stores and manipulates the local part, while
 // package core runs the distributed protocols on top.
+//
+// Storage layout (beyond-paper scale work): capabilities live in
+// generation-versioned slabs owned by the Store — fixed-size arrays of
+// Capability values addressed by a dense slot number — instead of being
+// individually heap-allocated and map-indexed. The key index is an
+// open-addressing hash over the uint64 DDL key (ddl.KeyMap), per-VPE
+// selector spaces are dense slices, and child links are stored inline in
+// the Capability with spill to a shared chunk arena. At millions of
+// capabilities this removes the per-capability allocations and the three
+// layers of Go map overhead that previously dominated RSS and GC time.
 package cap
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/ddl"
 	"repro/internal/dtu"
 )
+
+// Debug enables expensive correctness asserts that are not part of the
+// protocol logic, e.g. AddChild's O(children) duplicate scan. Tests turn it
+// on; the benchmarks and the scale sweep leave it off.
+var Debug = false
 
 // Selector names a capability within one VPE's capability space, like a file
 // descriptor names an open file.
@@ -82,7 +96,28 @@ func (*RecvObject) ObjType() ddl.Type    { return ddl.TypeRecv }
 func (*ServiceObject) ObjType() ddl.Type { return ddl.TypeService }
 func (*SessionObject) ObjType() ddl.Type { return ddl.TypeSession }
 
+// Child-link storage parameters. Most capabilities have at most a handful of
+// children (a derive chain, a session), so the first few keys live inline in
+// the Capability; wide fan-outs (a service capability with thousands of
+// sessions) spill to chunks of a shared arena owned by the Store.
+const (
+	inlineChildren = 3
+	chunkKeys      = 7
+)
+
+// childChunk is one spill block of the shared child arena. The next field is
+// the arena index of the following chunk plus one (0 = end of chain), so the
+// zero chunk is a valid empty chunk.
+type childChunk struct {
+	keys [chunkKeys]ddl.Key
+	next int32
+}
+
 // Capability is one node of the capability tree.
+//
+// A Capability is created free-standing (a composite literal) and handed to
+// Store.Insert, which copies it into a slab and returns the slab pointer —
+// the live instance all further reads and mutations must go through.
 type Capability struct {
 	// Key is the capability's globally valid DDL key.
 	Key ddl.Key
@@ -97,9 +132,6 @@ type Capability struct {
 	Perm dtu.Perm
 	// Parent is the DDL key of the parent capability (0 for roots).
 	Parent ddl.Key
-	// Children are the DDL keys of capabilities derived from this one, in
-	// creation order. They may live at other kernels.
-	Children []ddl.Key
 
 	// Marked is set during phase one of the two-phase revocation
 	// (mark-and-sweep, paper §4.3.3). A marked capability is logically dead:
@@ -108,6 +140,25 @@ type Capability struct {
 	// Outstanding counts revoke inter-kernel calls sent for this
 	// capability's children that have not been answered yet.
 	Outstanding int
+
+	// Child links, in creation order. nChildren counts live children;
+	// childSlots is the append cursor including tombstones (removed children
+	// leave a zero key so the creation order of the survivors is preserved).
+	// Slots [0, inlineChildren) are inline; further slots live in arena
+	// chunks (spillHead/spillTail, chunk index+1, 0 = none) once the
+	// capability is stored, or in the private spill slice while it is still
+	// free-standing.
+	nChildren  int32
+	childSlots int32
+	spillHead  int32
+	spillTail  int32
+	inline     [inlineChildren]ddl.Key
+	spill      []ddl.Key
+
+	// store and slot locate the capability inside its Store's slabs; both
+	// are zero while free-standing.
+	store *Store
+	slot  uint32
 }
 
 // Type returns the capability's object type.
@@ -120,175 +171,647 @@ func (c *Capability) Type() ddl.Type {
 
 func (c *Capability) String() string {
 	return fmt.Sprintf("cap<%v owner=v%d sel=%d kids=%d marked=%v>",
-		c.Key, c.Owner, c.Sel, len(c.Children), c.Marked)
+		c.Key, c.Owner, c.Sel, c.NumChildren(), c.Marked)
 }
 
-// AddChild appends a child key. Duplicate insertion is a protocol bug and
-// panics.
-func (c *Capability) AddChild(k ddl.Key) {
-	for _, ch := range c.Children {
-		if ch == k {
-			panic(fmt.Sprintf("cap: duplicate child %v on %v", k, c.Key))
-		}
-	}
-	c.Children = append(c.Children, k)
-}
+// NumChildren returns the number of live child links.
+func (c *Capability) NumChildren() int { return int(c.nChildren) }
 
-// RemoveChild deletes a child key; removing an absent child is a no-op
-// (revocation may race with orphan cleanup).
-func (c *Capability) RemoveChild(k ddl.Key) {
-	for i, ch := range c.Children {
-		if ch == k {
-			c.Children = append(c.Children[:i], c.Children[i+1:]...)
+// forEachChildSlot visits every child slot (including tombstones, which are
+// zero keys) in creation order until fn returns false.
+func (c *Capability) forEachChildSlot(fn func(k ddl.Key) bool) {
+	n := int(c.childSlots)
+	for i := 0; i < n && i < inlineChildren; i++ {
+		if !fn(c.inline[i]) {
 			return
 		}
 	}
+	spillN := n - inlineChildren
+	if spillN <= 0 {
+		return
+	}
+	if c.store == nil {
+		for i := 0; i < spillN; i++ {
+			if !fn(c.spill[i]) {
+				return
+			}
+		}
+		return
+	}
+	ci := c.spillHead
+	for i := 0; i < spillN; i++ {
+		off := i % chunkKeys
+		if !fn(c.store.chunks[ci-1].keys[off]) {
+			return
+		}
+		if off == chunkKeys-1 {
+			ci = c.store.chunks[ci-1].next
+		}
+	}
+}
+
+// ForEachChild calls fn for every live child key in creation order. The
+// capability's child set must not be mutated during the walk.
+func (c *Capability) ForEachChild(fn func(k ddl.Key)) {
+	c.forEachChildSlot(func(k ddl.Key) bool {
+		if k != 0 {
+			fn(k)
+		}
+		return true
+	})
+}
+
+// AppendChildren appends the live child keys in creation order to dst and
+// returns the result — the snapshot form of ForEachChild, for walks that
+// mutate the tree.
+func (c *Capability) AppendChildren(dst []ddl.Key) []ddl.Key {
+	if cap(dst)-len(dst) < int(c.nChildren) {
+		grown := make([]ddl.Key, len(dst), len(dst)+int(c.nChildren))
+		copy(grown, dst)
+		dst = grown
+	}
+	c.ForEachChild(func(k ddl.Key) { dst = append(dst, k) })
+	return dst
+}
+
+// AddChild appends a child key. Duplicate insertion is a protocol bug; the
+// O(children) scan that asserts it only runs with Debug set — wide fan-outs
+// must not pay it per link.
+func (c *Capability) AddChild(k ddl.Key) {
+	if Debug && c.HasChild(k) {
+		panic(fmt.Sprintf("cap: duplicate child %v on %v", k, c.Key))
+	}
+	slot := int(c.childSlots)
+	c.childSlots++
+	c.nChildren++
+	if slot < inlineChildren {
+		c.inline[slot] = k
+		return
+	}
+	off := (slot - inlineChildren) % chunkKeys
+	if c.store == nil {
+		c.spill = append(c.spill, k)
+		return
+	}
+	if off == 0 {
+		ci := c.store.allocChunk()
+		if c.spillTail != 0 {
+			c.store.chunks[c.spillTail-1].next = ci + 1
+		} else {
+			c.spillHead = ci + 1
+		}
+		c.spillTail = ci + 1
+	}
+	c.store.chunks[c.spillTail-1].keys[off] = k
+}
+
+// RemoveChild deletes a child key; removing an absent child is a no-op
+// (revocation may race with orphan cleanup). The slot is tombstoned so the
+// surviving children keep their creation order; when the last child goes,
+// the whole spill chain is released.
+func (c *Capability) RemoveChild(k ddl.Key) {
+	if k == 0 {
+		return
+	}
+	n := int(c.childSlots)
+	for i := 0; i < n && i < inlineChildren; i++ {
+		if c.inline[i] == k {
+			c.inline[i] = 0
+			c.childRemoved()
+			return
+		}
+	}
+	spillN := n - inlineChildren
+	if spillN <= 0 {
+		return
+	}
+	if c.store == nil {
+		for i := 0; i < spillN; i++ {
+			if c.spill[i] == k {
+				c.spill[i] = 0
+				c.childRemoved()
+				return
+			}
+		}
+		return
+	}
+	ci := c.spillHead
+	for i := 0; i < spillN; i++ {
+		off := i % chunkKeys
+		if c.store.chunks[ci-1].keys[off] == k {
+			c.store.chunks[ci-1].keys[off] = 0
+			c.childRemoved()
+			return
+		}
+		if off == chunkKeys-1 {
+			ci = c.store.chunks[ci-1].next
+		}
+	}
+}
+
+func (c *Capability) childRemoved() {
+	c.nChildren--
+	if c.nChildren == 0 {
+		c.resetChildren()
+	}
+}
+
+// resetChildren releases all child storage (the tombstone-compaction point:
+// a capability whose children are all gone starts over empty).
+func (c *Capability) resetChildren() {
+	c.inline = [inlineChildren]ddl.Key{}
+	if c.store != nil {
+		c.store.freeChunkChain(c.spillHead)
+	}
+	c.spillHead, c.spillTail = 0, 0
+	c.spill = nil
+	c.childSlots = 0
+	c.nChildren = 0
 }
 
 // HasChild reports whether k is a child of c.
 func (c *Capability) HasChild(k ddl.Key) bool {
-	for _, ch := range c.Children {
-		if ch == k {
-			return true
-		}
+	if k == 0 {
+		return false
 	}
-	return false
+	found := false
+	c.forEachChildSlot(func(ch ddl.Key) bool {
+		if ch == k {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Slab geometry: 512 capabilities per slab. Slabs are allocated as whole
+// arrays and never move, so *Capability pointers into them stay valid until
+// the slot is freed by Remove.
+const (
+	slabShift = 9
+	slabSize  = 1 << slabShift
+)
+
+type slab [slabSize]Capability
+
+// Handle is a dense, generation-versioned reference to a stored capability:
+// the slot's generation counter in the upper 32 bits, the slot number plus
+// one in the lower 32 (so the zero Handle is invalid). A Handle outlives the
+// *Capability pointer safely — once the slot is freed and reused, Resolve
+// returns nil instead of the impostor.
+type Handle uint64
+
+// NoHandle is the invalid handle.
+const NoHandle Handle = 0
+
+// vpeSpace is one VPE's capability space: a dense selector-indexed table of
+// slab slot references (slot+1, 0 = empty) plus the allocation cursor.
+type vpeSpace struct {
+	sel  []uint32
+	free []Selector // freed selectors, reused only with Store.ReuseSelectors
+	next Selector   // highest selector handed out
+	live int
+}
+
+func (sp *vpeSpace) ensure(sel Selector) {
+	for int(sel) >= len(sp.sel) {
+		sp.sel = append(sp.sel, make([]uint32, int(sel)+1-len(sp.sel))...)
+	}
 }
 
 // Store is one kernel's mapping database: all capabilities it owns, indexed
-// by DDL key and by (VPE, selector).
+// by DDL key and by (VPE, selector). Capabilities live in slabs owned by the
+// Store; see the package comment for the layout.
 type Store struct {
-	caps    map[ddl.Key]*Capability
-	byVPE   map[int]map[Selector]*Capability
-	nextSel map[int]Selector
+	// ReuseSelectors makes AllocSel reuse selectors freed by Remove instead
+	// of allocating monotonically. The kernels leave it off: monotonic
+	// selectors keep (vpe, selector) pairs unique for the lifetime of a run,
+	// which the exchange protocols' re-validation checks rely on, and keep
+	// bulk revocation order (VPECaps) independent of deletion history.
+	ReuseSelectors bool
+
+	slabs     []*slab
+	gens      []uint32 // per-slot generation, bumped on free
+	freeSlots []uint32 // LIFO free list
+	used      uint32   // high-water slot count
+	n         int      // live capabilities
+
+	byKey ddl.KeyMap[uint32] // DDL key -> slot
+
+	vpes map[int]*vpeSpace // one entry per VPE, not per capability
+
+	chunks     []childChunk // shared child-spill arena
+	freeChunks []int32
 }
 
 // NewStore returns an empty mapping database.
 func NewStore() *Store {
-	return &Store{
-		caps:    make(map[ddl.Key]*Capability),
-		byVPE:   make(map[int]map[Selector]*Capability),
-		nextSel: make(map[int]Selector),
-	}
+	return &Store{}
 }
 
 // Len returns the number of stored capabilities.
-func (s *Store) Len() int { return len(s.caps) }
+func (s *Store) Len() int { return s.n }
 
-// AllocSel returns a fresh selector for the VPE's capability space.
-func (s *Store) AllocSel(vpe int) Selector {
-	s.nextSel[vpe]++
-	return s.nextSel[vpe]
+func (s *Store) capAt(slot uint32) *Capability {
+	return &s.slabs[slot>>slabShift][slot&(slabSize-1)]
 }
 
-// Insert adds a capability to the database. Inserting a duplicate key or a
+func (s *Store) allocSlot() uint32 {
+	if n := len(s.freeSlots); n > 0 {
+		slot := s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+		return slot
+	}
+	slot := s.used
+	if int(slot>>slabShift) == len(s.slabs) {
+		s.slabs = append(s.slabs, new(slab))
+		s.gens = append(s.gens, make([]uint32, slabSize)...)
+	}
+	s.used++
+	return slot
+}
+
+func (s *Store) allocChunk() int32 {
+	if n := len(s.freeChunks); n > 0 {
+		ci := s.freeChunks[n-1]
+		s.freeChunks = s.freeChunks[:n-1]
+		return ci
+	}
+	s.chunks = append(s.chunks, childChunk{})
+	return int32(len(s.chunks) - 1)
+}
+
+// freeChunkChain returns a chunk chain (head is index+1) to the free list.
+func (s *Store) freeChunkChain(head int32) {
+	for head != 0 {
+		ci := head - 1
+		next := s.chunks[ci].next
+		s.chunks[ci] = childChunk{}
+		s.freeChunks = append(s.freeChunks, ci)
+		head = next
+	}
+}
+
+// migrateSpill moves a freshly inserted capability's private spill slice
+// into the shared chunk arena.
+func (s *Store) migrateSpill(c *Capability) {
+	priv := c.spill
+	c.spill = nil
+	c.spillHead, c.spillTail = 0, 0
+	for i, k := range priv {
+		off := i % chunkKeys
+		if off == 0 {
+			ci := s.allocChunk()
+			if c.spillTail != 0 {
+				s.chunks[c.spillTail-1].next = ci + 1
+			} else {
+				c.spillHead = ci + 1
+			}
+			c.spillTail = ci + 1
+		}
+		s.chunks[c.spillTail-1].keys[off] = k
+	}
+}
+
+func (s *Store) space(vpe int) *vpeSpace {
+	sp := s.vpes[vpe]
+	if sp == nil {
+		if s.vpes == nil {
+			s.vpes = make(map[int]*vpeSpace)
+		}
+		sp = &vpeSpace{}
+		s.vpes[vpe] = sp
+	}
+	return sp
+}
+
+// AllocSel returns a fresh selector for the VPE's capability space:
+// monotonically increasing, or a recycled one with ReuseSelectors set.
+func (s *Store) AllocSel(vpe int) Selector {
+	sp := s.space(vpe)
+	if s.ReuseSelectors {
+		if n := len(sp.free); n > 0 {
+			sel := sp.free[n-1]
+			sp.free = sp.free[:n-1]
+			return sel
+		}
+	}
+	sp.next++
+	return sp.next
+}
+
+// Insert copies the capability into a slab slot, indexes it, and returns the
+// slab instance — the pointer all further accesses must use; the argument
+// stays a dead free-standing value. Inserting a duplicate key or a
 // (vpe, selector) collision panics: keys are minted uniquely and selectors
 // allocated by AllocSel, so either indicates kernel corruption.
-func (s *Store) Insert(c *Capability) {
+func (s *Store) Insert(c *Capability) *Capability {
 	if !c.Key.Valid() {
 		panic("cap: inserting capability with invalid key")
 	}
-	if _, dup := s.caps[c.Key]; dup {
+	if _, dup := s.byKey.Get(c.Key); dup {
 		panic(fmt.Sprintf("cap: duplicate key %v", c.Key))
 	}
-	vm := s.byVPE[c.Owner]
-	if vm == nil {
-		vm = make(map[Selector]*Capability)
-		s.byVPE[c.Owner] = vm
-	}
+	var sp *vpeSpace
 	if c.Sel != NoSel {
-		if _, dup := vm[c.Sel]; dup {
+		sp = s.space(c.Owner)
+		sp.ensure(c.Sel)
+		if sp.sel[c.Sel] != 0 {
 			panic(fmt.Sprintf("cap: duplicate selector %d for vpe %d", c.Sel, c.Owner))
 		}
-		vm[c.Sel] = c
 	}
-	s.caps[c.Key] = c
+	slot := s.allocSlot()
+	sc := s.capAt(slot)
+	*sc = *c
+	sc.store = s
+	sc.slot = slot
+	if int(sc.childSlots) > inlineChildren {
+		s.migrateSpill(sc)
+	} else {
+		sc.spill = nil
+	}
+	s.byKey.Put(c.Key, slot)
+	if sp != nil {
+		sp.sel[c.Sel] = slot + 1
+		sp.live++
+		if c.Sel > sp.next {
+			// Directly chosen selector (tests): keep AllocSel ahead of it.
+			sp.next = c.Sel
+		}
+	}
+	s.n++
+	return sc
 }
 
 // Lookup returns the capability with the given key, or nil.
-func (s *Store) Lookup(k ddl.Key) *Capability { return s.caps[k] }
+func (s *Store) Lookup(k ddl.Key) *Capability {
+	slot, ok := s.byKey.Get(k)
+	if !ok {
+		return nil
+	}
+	return s.capAt(slot)
+}
 
 // LookupSel returns the VPE's capability at sel, or nil.
 func (s *Store) LookupSel(vpe int, sel Selector) *Capability {
-	return s.byVPE[vpe][sel]
+	sp := s.vpes[vpe]
+	if sp == nil || int(sel) >= len(sp.sel) {
+		return nil
+	}
+	ref := sp.sel[sel]
+	if ref == 0 {
+		return nil
+	}
+	return s.capAt(ref - 1)
+}
+
+// HandleOf returns the generation-versioned handle of a stored capability,
+// or NoHandle for nil or free-standing capabilities.
+func (s *Store) HandleOf(c *Capability) Handle {
+	if c == nil || c.store != s {
+		return NoHandle
+	}
+	return Handle(uint64(s.gens[c.slot])<<32 | uint64(c.slot) + 1)
+}
+
+// Resolve returns the capability a handle refers to, or nil if it has been
+// removed since (the slot's generation moved on).
+func (s *Store) Resolve(h Handle) *Capability {
+	if h == NoHandle {
+		return nil
+	}
+	slot := uint32(h) - 1
+	if slot >= s.used || s.gens[slot] != uint32(h>>32) {
+		return nil
+	}
+	c := s.capAt(slot)
+	if c.Key == 0 {
+		return nil
+	}
+	return c
 }
 
 // Remove deletes a capability from the database. It does not touch tree
-// links; callers unlink first. Removing an absent key is a no-op.
+// links; callers unlink first. Removing an absent key is a no-op. The slab
+// slot is zeroed (so the GC drops the object reference), its generation is
+// bumped, and slot and spill chunks return to the free lists.
 func (s *Store) Remove(k ddl.Key) {
-	c := s.caps[k]
-	if c == nil {
+	slot, ok := s.byKey.Get(k)
+	if !ok {
 		return
 	}
-	delete(s.caps, k)
-	if vm := s.byVPE[c.Owner]; vm != nil && c.Sel != NoSel {
-		delete(vm, c.Sel)
+	c := s.capAt(slot)
+	if c.spillHead != 0 {
+		s.freeChunkChain(c.spillHead)
 	}
+	if c.Sel != NoSel {
+		if sp := s.vpes[c.Owner]; sp != nil && int(c.Sel) < len(sp.sel) && sp.sel[c.Sel] == slot+1 {
+			sp.sel[c.Sel] = 0
+			sp.live--
+			if s.ReuseSelectors {
+				sp.free = append(sp.free, c.Sel)
+			}
+		}
+	}
+	s.byKey.Delete(k)
+	*c = Capability{}
+	s.gens[slot]++
+	s.freeSlots = append(s.freeSlots, slot)
+	s.n--
 }
 
-// VPECaps returns all capabilities of a VPE ordered by selector; the order
-// is deterministic so that bulk revocation (VPE exit) is reproducible.
+// VPECaps returns all capabilities of a VPE ordered by ascending selector —
+// the selector table's natural order, no sort needed. The order is
+// deterministic so that bulk revocation (VPE exit) is reproducible: with
+// monotonic selectors it equals creation order regardless of deletion
+// history.
 func (s *Store) VPECaps(vpe int) []*Capability {
-	vm := s.byVPE[vpe]
-	if len(vm) == 0 {
+	sp := s.vpes[vpe]
+	if sp == nil || sp.live == 0 {
 		return nil
 	}
-	caps := make([]*Capability, 0, len(vm))
-	for _, c := range vm {
-		caps = append(caps, c)
+	caps := make([]*Capability, 0, sp.live)
+	for _, ref := range sp.sel {
+		if ref != 0 {
+			caps = append(caps, s.capAt(ref-1))
+		}
 	}
-	sort.Slice(caps, func(i, j int) bool { return caps[i].Sel < caps[j].Sel })
 	return caps
 }
 
-// Keys returns all stored keys in ascending order (for tests/diagnostics).
+// Keys returns all stored keys in slot order (for tests/diagnostics) — the
+// slab table's natural order, no sort or map iteration. The order is a
+// deterministic function of the store's operation history (slots allocate
+// densely, frees recycle LIFO), but not of the key values; callers that
+// need a value order must sort.
 func (s *Store) Keys() []ddl.Key {
-	keys := make([]ddl.Key, 0, len(s.caps))
-	for k := range s.caps {
-		keys = append(keys, k)
+	keys := make([]ddl.Key, 0, s.n)
+	for slot := uint32(0); slot < s.used; slot++ {
+		if c := s.capAt(slot); c.Key != 0 {
+			keys = append(keys, c.Key)
+		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	return keys
 }
 
-// CheckLocalInvariants validates the locally checkable tree invariants:
+// CheckLocalInvariants validates the locally checkable invariants:
 //   - every child link whose target is local resolves, and the target's
 //     Parent points back;
 //   - every local capability with a local parent is in that parent's child
 //     list;
-//   - selector index and key index agree.
+//   - selector index, key index and slab agree;
+//   - slab free lists are consistent: every slot is either live and indexed
+//     or zeroed and on the free list, exactly once;
+//   - child spill chains are well-formed: acyclic, owned by exactly one
+//     capability, sized to the child-slot count, and disjoint from the
+//     chunk free list.
 //
 // It returns the first violation found, or nil. Links to other kernels
 // cannot be validated locally and are skipped.
 func (s *Store) CheckLocalInvariants() error {
-	for k, c := range s.caps {
-		if c.Key != k {
-			return fmt.Errorf("cap %v stored under wrong key %v", c.Key, k)
+	if len(s.freeSlots)+s.n != int(s.used) {
+		return fmt.Errorf("slot accounting: %d free + %d live != %d used",
+			len(s.freeSlots), s.n, s.used)
+	}
+	freeSlot := make(map[uint32]bool, len(s.freeSlots))
+	for _, slot := range s.freeSlots {
+		if slot >= s.used {
+			return fmt.Errorf("free slot %d beyond high water %d", slot, s.used)
 		}
-		for _, ch := range c.Children {
-			if child := s.caps[ch]; child != nil && child.Parent != c.Key {
-				return fmt.Errorf("child %v of %v has parent %v", ch, c.Key, child.Parent)
+		if freeSlot[slot] {
+			return fmt.Errorf("slot %d on the free list twice", slot)
+		}
+		freeSlot[slot] = true
+	}
+	freeChunk := make(map[int32]bool, len(s.freeChunks))
+	for _, ci := range s.freeChunks {
+		if ci < 0 || int(ci) >= len(s.chunks) {
+			return fmt.Errorf("free chunk %d out of range", ci)
+		}
+		if freeChunk[ci] {
+			return fmt.Errorf("chunk %d on the free list twice", ci)
+		}
+		if s.chunks[ci] != (childChunk{}) {
+			return fmt.Errorf("free chunk %d not zeroed", ci)
+		}
+		freeChunk[ci] = true
+	}
+	chunkOwner := make(map[int32]uint32)
+	ownedChunks := 0
+	for slot := uint32(0); slot < s.used; slot++ {
+		c := s.capAt(slot)
+		if c.Key == 0 {
+			if !freeSlot[slot] {
+				return fmt.Errorf("slot %d is empty but not on the free list", slot)
 			}
+			if c.Object != nil || c.store != nil || c.childSlots != 0 || c.spillHead != 0 || c.spill != nil {
+				return fmt.Errorf("free slot %d not zeroed", slot)
+			}
+			continue
+		}
+		if freeSlot[slot] {
+			return fmt.Errorf("slot %d holds %v but is on the free list", slot, c.Key)
+		}
+		if c.store != s || c.slot != slot {
+			return fmt.Errorf("cap %v has wrong slab back-reference", c.Key)
+		}
+		if got, ok := s.byKey.Get(c.Key); !ok || got != slot {
+			return fmt.Errorf("cap %v missing from the key index", c.Key)
+		}
+		if c.spill != nil {
+			return fmt.Errorf("stored cap %v still has a private spill slice", c.Key)
+		}
+		// Child links and spill-chain shape.
+		spillSlots := int(c.childSlots) - inlineChildren
+		wantChunks := 0
+		if spillSlots > 0 {
+			wantChunks = (spillSlots + chunkKeys - 1) / chunkKeys
+		}
+		ci := c.spillHead
+		for i := 0; i < wantChunks; i++ {
+			if ci == 0 {
+				return fmt.Errorf("cap %v spill chain too short: %d chunks, want %d", c.Key, i, wantChunks)
+			}
+			idx := ci - 1
+			if int(idx) >= len(s.chunks) {
+				return fmt.Errorf("cap %v spill chunk %d out of range", c.Key, idx)
+			}
+			if freeChunk[idx] {
+				return fmt.Errorf("cap %v references free chunk %d", c.Key, idx)
+			}
+			if owner, shared := chunkOwner[idx]; shared {
+				return fmt.Errorf("chunk %d shared by slots %d and %d", idx, owner, slot)
+			}
+			chunkOwner[idx] = slot
+			ownedChunks++
+			if i == wantChunks-1 {
+				if ci != c.spillTail {
+					return fmt.Errorf("cap %v spill tail mismatch", c.Key)
+				}
+				if s.chunks[idx].next != 0 {
+					return fmt.Errorf("cap %v spill chain overlong", c.Key)
+				}
+			}
+			ci = s.chunks[idx].next
+		}
+		if wantChunks == 0 && (c.spillHead != 0 || c.spillTail != 0) {
+			return fmt.Errorf("cap %v has a spill chain but no spill slots", c.Key)
+		}
+		liveChildren := 0
+		var childErr error
+		c.forEachChildSlot(func(ch ddl.Key) bool {
+			if ch == 0 {
+				return true
+			}
+			liveChildren++
+			if child := s.Lookup(ch); child != nil && child.Parent != c.Key {
+				childErr = fmt.Errorf("child %v of %v has parent %v", ch, c.Key, child.Parent)
+				return false
+			}
+			return true
+		})
+		if childErr != nil {
+			return childErr
+		}
+		if liveChildren != int(c.nChildren) {
+			return fmt.Errorf("cap %v counts %d children, slots hold %d", c.Key, c.nChildren, liveChildren)
 		}
 		if c.Parent != 0 {
-			if parent := s.caps[c.Parent]; parent != nil && !parent.HasChild(c.Key) {
+			if parent := s.Lookup(c.Parent); parent != nil && !parent.HasChild(c.Key) {
 				return fmt.Errorf("cap %v not in parent %v child list", c.Key, c.Parent)
 			}
 		}
 		if c.Sel != NoSel {
-			if s.byVPE[c.Owner][c.Sel] != c {
+			if s.LookupSel(c.Owner, c.Sel) != c {
 				return fmt.Errorf("cap %v selector index mismatch", c.Key)
 			}
 		}
 	}
-	for vpe, vm := range s.byVPE {
-		for sel, c := range vm {
-			if c.Owner != vpe || c.Sel != sel {
+	if ownedChunks+len(s.freeChunks) != len(s.chunks) {
+		return fmt.Errorf("chunk accounting: %d owned + %d free != %d allocated",
+			ownedChunks, len(s.freeChunks), len(s.chunks))
+	}
+	if s.byKey.Len() != s.n {
+		return fmt.Errorf("key index holds %d entries, store %d", s.byKey.Len(), s.n)
+	}
+	for vpe, sp := range s.vpes {
+		live := 0
+		for sel, ref := range sp.sel {
+			if ref == 0 {
+				continue
+			}
+			live++
+			if ref-1 >= s.used {
+				return fmt.Errorf("selector index for vpe %d sel %d points beyond the slabs", vpe, sel)
+			}
+			c := s.capAt(ref - 1)
+			if c.Key == 0 || c.Owner != vpe || c.Sel != Selector(sel) {
 				return fmt.Errorf("selector index corrupt for vpe %d sel %d", vpe, sel)
 			}
-			if s.caps[c.Key] != c {
-				return fmt.Errorf("selector index holds unmapped cap %v", c.Key)
-			}
+		}
+		if live != sp.live {
+			return fmt.Errorf("vpe %d selector space counts %d live, table holds %d", vpe, sp.live, live)
 		}
 	}
 	return nil

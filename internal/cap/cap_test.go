@@ -2,6 +2,7 @@ package cap
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -22,8 +23,7 @@ func memCap(g *ddl.Generator, vpe int, sel Selector) *Capability {
 func TestStoreInsertLookup(t *testing.T) {
 	s := NewStore()
 	g := ddl.NewGenerator()
-	c := memCap(g, 1, s.AllocSel(1))
-	s.Insert(c)
+	c := s.Insert(memCap(g, 1, s.AllocSel(1)))
 	if s.Lookup(c.Key) != c {
 		t.Fatal("Lookup by key failed")
 	}
@@ -41,13 +41,16 @@ func TestStoreInsertLookup(t *testing.T) {
 func TestStoreRemove(t *testing.T) {
 	s := NewStore()
 	g := ddl.NewGenerator()
-	c := memCap(g, 1, s.AllocSel(1))
-	s.Insert(c)
-	s.Remove(c.Key)
-	if s.Lookup(c.Key) != nil || s.LookupSel(1, c.Sel) != nil {
+	c := s.Insert(memCap(g, 1, s.AllocSel(1)))
+	key, sel := c.Key, c.Sel
+	s.Remove(key)
+	if s.Lookup(key) != nil || s.LookupSel(1, sel) != nil {
 		t.Fatal("capability still visible after Remove")
 	}
-	s.Remove(c.Key) // removing absent key is a no-op
+	s.Remove(key) // removing absent key is a no-op
+	if err := s.CheckLocalInvariants(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestStoreDuplicateKeyPanics(t *testing.T) {
@@ -88,6 +91,9 @@ func TestChildLinks(t *testing.T) {
 	if !parent.HasChild(child.Key) {
 		t.Fatal("child not linked")
 	}
+	if parent.NumChildren() != 1 {
+		t.Fatalf("NumChildren = %d", parent.NumChildren())
+	}
 	parent.RemoveChild(child.Key)
 	if parent.HasChild(child.Key) {
 		t.Fatal("child not removed")
@@ -96,6 +102,8 @@ func TestChildLinks(t *testing.T) {
 }
 
 func TestDuplicateChildPanics(t *testing.T) {
+	defer func(old bool) { Debug = old }(Debug)
+	Debug = true // the duplicate scan is a debug-gated assert
 	g := ddl.NewGenerator()
 	parent := memCap(g, 1, 1)
 	child := memCap(g, 2, 1)
@@ -106,6 +114,122 @@ func TestDuplicateChildPanics(t *testing.T) {
 		}
 	}()
 	parent.AddChild(child.Key)
+}
+
+// Children must survive the inline→spill transition and keep creation order
+// under interleaved removals, both free-standing and store-backed.
+func TestChildSpill(t *testing.T) {
+	for _, stored := range []bool{false, true} {
+		s := NewStore()
+		g := ddl.NewGenerator()
+		parent := memCap(g, 1, 1)
+		if stored {
+			parent = s.Insert(parent)
+		}
+		var want []ddl.Key
+		for i := 0; i < 4*chunkKeys+inlineChildren+2; i++ {
+			k := g.Next(0, 2, ddl.TypeMem)
+			parent.AddChild(k)
+			want = append(want, k)
+		}
+		got := parent.AppendChildren(nil)
+		if len(got) != len(want) {
+			t.Fatalf("stored=%v: %d children, want %d", stored, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("stored=%v: child %d = %v, want %v", stored, i, got[i], want[i])
+			}
+		}
+		// Remove every other child: survivors keep creation order.
+		for i := 0; i < len(want); i += 2 {
+			parent.RemoveChild(want[i])
+		}
+		var still []ddl.Key
+		for i := 1; i < len(want); i += 2 {
+			still = append(still, want[i])
+		}
+		got = parent.AppendChildren(nil)
+		if len(got) != len(still) {
+			t.Fatalf("stored=%v: %d children after removal, want %d", stored, len(got), len(still))
+		}
+		for i := range still {
+			if got[i] != still[i] {
+				t.Fatalf("stored=%v: child %d = %v, want %v after removal", stored, i, got[i], still[i])
+			}
+		}
+		// Removing the rest releases all spill storage.
+		for _, k := range still {
+			parent.RemoveChild(k)
+		}
+		if parent.NumChildren() != 0 {
+			t.Fatalf("stored=%v: %d children left", stored, parent.NumChildren())
+		}
+		if stored {
+			if err := s.CheckLocalInvariants(); err != nil {
+				t.Fatalf("stored=%v: %v", stored, err)
+			}
+			if len(s.freeChunks) != len(s.chunks) {
+				t.Fatalf("stored=%v: %d of %d chunks still owned", stored, len(s.chunks)-len(s.freeChunks), len(s.chunks))
+			}
+		}
+	}
+}
+
+// A free-standing capability built with spilled children must migrate them
+// into the arena on Insert.
+func TestSpillMigratesOnInsert(t *testing.T) {
+	s := NewStore()
+	g := ddl.NewGenerator()
+	parent := memCap(g, 1, s.AllocSel(1))
+	var want []ddl.Key
+	for i := 0; i < 3*chunkKeys; i++ {
+		k := g.Next(0, 2, ddl.TypeMem)
+		parent.AddChild(k)
+		want = append(want, k)
+	}
+	parent = s.Insert(parent)
+	got := parent.AppendChildren(nil)
+	if len(got) != len(want) {
+		t.Fatalf("%d children after insert, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("child %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if err := s.CheckLocalInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandles(t *testing.T) {
+	s := NewStore()
+	g := ddl.NewGenerator()
+	c := s.Insert(memCap(g, 1, s.AllocSel(1)))
+	h := s.HandleOf(c)
+	if h == NoHandle {
+		t.Fatal("stored cap has no handle")
+	}
+	if s.Resolve(h) != c {
+		t.Fatal("Resolve did not return the stored cap")
+	}
+	key := c.Key
+	s.Remove(key)
+	if s.Resolve(h) != nil {
+		t.Fatal("stale handle resolved after Remove")
+	}
+	// Slot reuse must not resurrect the old handle.
+	d := s.Insert(memCap(g, 1, s.AllocSel(1)))
+	if s.Resolve(h) != nil {
+		t.Fatal("stale handle resolved into a reused slot")
+	}
+	if s.Resolve(s.HandleOf(d)) != d {
+		t.Fatal("fresh handle failed")
+	}
+	if s.HandleOf(nil) != NoHandle {
+		t.Fatal("nil cap must have NoHandle")
+	}
 }
 
 func TestVPECapsSorted(t *testing.T) {
@@ -127,6 +251,10 @@ func TestVPECapsSorted(t *testing.T) {
 	if s.VPECaps(99) != nil {
 		t.Fatal("unknown VPE returned caps")
 	}
+	// AllocSel must not collide with the directly chosen selectors.
+	if sel := s.AllocSel(7); sel <= 9 {
+		t.Fatalf("AllocSel returned colliding selector %d", sel)
+	}
 }
 
 func TestInvariantViolationDetected(t *testing.T) {
@@ -136,7 +264,7 @@ func TestInvariantViolationDetected(t *testing.T) {
 	child := memCap(g, 2, 1)
 	child.Parent = parent.Key
 	// Corrupt: child claims parent, but parent does not list it.
-	s.Insert(parent)
+	parent = s.Insert(parent)
 	s.Insert(child)
 	if err := s.CheckLocalInvariants(); err == nil {
 		t.Fatal("invariant violation not detected")
@@ -167,41 +295,170 @@ func TestObjectTypes(t *testing.T) {
 	}
 }
 
-// Property: after any sequence of inserts and removes, the local invariants
-// hold and lookups agree with a reference map.
+// refCap / refModel are a deliberately naive map-based reference model of
+// the Store (the pre-slab implementation's shape) for the property test.
+type refCap struct {
+	key      ddl.Key
+	owner    int
+	sel      Selector
+	parent   ddl.Key
+	children []ddl.Key
+}
+
+type refModel struct {
+	caps  map[ddl.Key]*refCap
+	byVPE map[int]map[Selector]*refCap
+}
+
+func newRefModel() *refModel {
+	return &refModel{caps: make(map[ddl.Key]*refCap), byVPE: make(map[int]map[Selector]*refCap)}
+}
+
+func (m *refModel) insert(c *refCap) {
+	m.caps[c.key] = c
+	vm := m.byVPE[c.owner]
+	if vm == nil {
+		vm = make(map[Selector]*refCap)
+		m.byVPE[c.owner] = vm
+	}
+	vm[c.sel] = c
+}
+
+func (m *refModel) remove(k ddl.Key) {
+	c := m.caps[k]
+	if c == nil {
+		return
+	}
+	delete(m.caps, k)
+	delete(m.byVPE[c.owner], c.sel)
+}
+
+func (m *refModel) vpeCaps(vpe int) []*refCap {
+	var caps []*refCap
+	for _, c := range m.byVPE[vpe] {
+		caps = append(caps, c)
+	}
+	sort.Slice(caps, func(i, j int) bool { return caps[i].sel < caps[j].sel })
+	return caps
+}
+
+// Property: after any sequence of inserts, child links, revoke-unlinks and
+// removes — with and without selector reuse — the slab store agrees with
+// the map-based reference model and its local invariants hold.
 func TestStoreRandomOpsProperty(t *testing.T) {
-	f := func(seed int64, n uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
-		s := NewStore()
-		g := ddl.NewGenerator()
-		ref := make(map[ddl.Key]*Capability)
-		var keys []ddl.Key
-		for i := 0; i < int(n); i++ {
-			if len(keys) == 0 || rng.Intn(3) > 0 {
-				vpe := rng.Intn(4)
-				c := memCap(g, vpe, s.AllocSel(vpe))
-				s.Insert(c)
-				ref[c.Key] = c
-				keys = append(keys, c.Key)
-			} else {
-				i := rng.Intn(len(keys))
-				k := keys[i]
-				s.Remove(k)
-				delete(ref, k)
-				keys = append(keys[:i], keys[i+1:]...)
+	for _, reuse := range []bool{false, true} {
+		f := func(seed int64, n uint16) bool {
+			rng := rand.New(rand.NewSource(seed))
+			s := NewStore()
+			s.ReuseSelectors = reuse
+			g := ddl.NewGenerator()
+			ref := newRefModel()
+			var keys []ddl.Key
+			ops := int(n)%300 + 20
+			for i := 0; i < ops; i++ {
+				switch op := rng.Intn(10); {
+				case op < 6 || len(keys) == 0: // insert, maybe linked under a parent
+					vpe := rng.Intn(4)
+					sel := s.AllocSel(vpe)
+					c := memCap(g, vpe, sel)
+					rc := &refCap{key: c.Key, owner: vpe, sel: sel}
+					if len(keys) > 0 && rng.Intn(2) == 0 {
+						pk := keys[rng.Intn(len(keys))]
+						parent := s.Lookup(pk)
+						rp := ref.caps[pk]
+						c.Parent = pk
+						rc.parent = pk
+						parent.AddChild(c.Key)
+						rp.children = append(rp.children, c.Key)
+					}
+					s.Insert(c)
+					ref.insert(rc)
+					keys = append(keys, c.Key)
+				default: // remove with revoke-style unlink from the parent
+					i := rng.Intn(len(keys))
+					k := keys[i]
+					rc := ref.caps[k]
+					if rc.parent != 0 {
+						if p := s.Lookup(rc.parent); p != nil {
+							p.RemoveChild(k)
+						}
+						if rp := ref.caps[rc.parent]; rp != nil {
+							for j, ch := range rp.children {
+								if ch == k {
+									rp.children = append(rp.children[:j], rp.children[j+1:]...)
+									break
+								}
+							}
+						}
+					}
+					// Orphan the children (their parent link dangles, which
+					// the store tolerates: remote parents look the same).
+					s.Remove(k)
+					ref.remove(k)
+					keys = append(keys[:i], keys[i+1:]...)
+				}
 			}
-		}
-		if s.Len() != len(ref) {
-			return false
-		}
-		for k, c := range ref {
-			if s.Lookup(k) != c {
+			if s.Len() != len(ref.caps) {
 				return false
 			}
+			for k, rc := range ref.caps {
+				c := s.Lookup(k)
+				if c == nil || c.Owner != rc.owner || c.Sel != rc.sel {
+					return false
+				}
+				if s.LookupSel(rc.owner, rc.sel) != c {
+					return false
+				}
+				got := c.AppendChildren(nil)
+				if len(got) != len(rc.children) {
+					return false
+				}
+				for i := range got {
+					if got[i] != rc.children[i] {
+						return false
+					}
+				}
+			}
+			for vpe := 0; vpe < 4; vpe++ {
+				want := ref.vpeCaps(vpe)
+				got := s.VPECaps(vpe)
+				if len(got) != len(want) {
+					return false
+				}
+				for i := range want {
+					if got[i].Key != want[i].key || got[i].Sel != want[i].sel {
+						return false
+					}
+				}
+			}
+			return s.CheckLocalInvariants() == nil
 		}
-		return s.CheckLocalInvariants() == nil
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatalf("reuse=%v: %v", reuse, err)
+		}
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+}
+
+// Selector reuse after free is opt-in and must hand back freed selectors.
+func TestSelectorReuse(t *testing.T) {
+	s := NewStore()
+	s.ReuseSelectors = true
+	g := ddl.NewGenerator()
+	a := s.Insert(memCap(g, 1, s.AllocSel(1)))
+	b := s.Insert(memCap(g, 1, s.AllocSel(1)))
+	if a.Sel != 1 || b.Sel != 2 {
+		t.Fatalf("sels = %d, %d", a.Sel, b.Sel)
+	}
+	s.Remove(a.Key)
+	if sel := s.AllocSel(1); sel != 1 {
+		t.Fatalf("freed selector not reused: got %d", sel)
+	}
+	c := memCap(g, 1, 1)
+	c = s.Insert(c)
+	if s.LookupSel(1, 1) != c {
+		t.Fatal("reused selector does not resolve")
+	}
+	if err := s.CheckLocalInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cap"
+	"repro/internal/ddl"
 	"repro/internal/dtu"
 	"repro/internal/sim"
 )
@@ -228,11 +229,11 @@ func TestObtainSpanning(t *testing.T) {
 	var crossChild bool
 	for _, key := range k0.store.Keys() {
 		c := k0.store.Lookup(key)
-		for _, ch := range c.Children {
+		c.ForEachChild(func(ch ddl.Key) {
 			if k0.member.KernelOfKey(ch) == 1 {
 				crossChild = true
 			}
-		}
+		})
 	}
 	if !crossChild {
 		t.Fatal("no cross-kernel child link found")

@@ -206,25 +206,29 @@ func (k *Kernel) delegateLocal(p *sim.Proc, v *VPE, c *cap.Capability, dstVPE in
 	if dstV == nil || dstV.exited {
 		return &sysReply{Err: ErrVPEGone}
 	}
+	// The consent round trip is a preemption point and the store compacts
+	// removed slots, so re-resolve the parent by key afterwards.
+	cKey := c.Key
 	if !k.askVPE(p, dstV, ExchangeQuery{Obtain: false, PeerVPE: v.ID}) {
 		return &sysReply{Err: ErrDenied}
 	}
-	if k.store.Lookup(c.Key) == nil || c.Marked {
+	cur := k.store.Lookup(cKey)
+	if cur == nil || cur.Marked {
 		return &sysReply{Err: ErrInRevocation}
 	}
 	if dstV.exited {
 		return &sysReply{Err: ErrVPEGone}
 	}
-	obj := deriveObject(c.Object)
+	obj := deriveObject(cur.Object)
 	child := &cap.Capability{
 		Key:    k.mintKey(dstV.PE, dstV.ID, obj.ObjType()),
 		Owner:  dstV.ID,
 		Sel:    k.store.AllocSel(dstV.ID),
 		Object: obj,
-		Perm:   c.Perm,
-		Parent: c.Key,
+		Perm:   cur.Perm,
+		Parent: cKey,
 	}
-	c.AddChild(child.Key)
+	cur.AddChild(child.Key)
 	k.exec(p, k.sys.Cost.CapLink)
 	k.insertCap(p, child)
 	k.stats.Delegates++
@@ -301,14 +305,14 @@ func (k *Kernel) handleDelegateReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 		Parent: req.Key,
 	}
 	k.exec(p, k.sys.Cost.CapCreate)
-	k.pendingDelegations[childKey] = child
+	k.pendingDelegations.Put(childKey, child)
 	return &ikcReply{Key: childKey}
 }
 
 // handleDelegateAck finishes the handshake at the receiver's kernel.
 func (k *Kernel) handleDelegateAck(p *sim.Proc, req *ikcRequest) *ikcReply {
-	child := k.pendingDelegations[req.Child]
-	delete(k.pendingDelegations, req.Child)
+	child, _ := k.pendingDelegations.Get(req.Child)
+	k.pendingDelegations.Delete(req.Child)
 	if child == nil {
 		return &ikcReply{Err: ErrNoSuchCap}
 	}

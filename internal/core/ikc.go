@@ -12,7 +12,8 @@ import (
 // overflow. Replies travel in slots reserved by the request (as in the M3
 // DTU design), so only requests count against the in-flight limit.
 
-// inflightTo returns the in-flight semaphore for requests to kernel dst.
+// inflightTo returns the in-flight semaphore for requests to kernel dst,
+// created lazily in its dense per-kernel slot.
 func (k *Kernel) inflightTo(dst int) *sim.Semaphore {
 	s := k.inflight[dst]
 	if s == nil {

@@ -46,8 +46,8 @@ func TestInterferenceSerialized(t *testing.T) {
 	for _, key := range k.store.Keys() {
 		c := k.store.Lookup(key)
 		if _, ok := c.Object.(*cap.MemObject); ok && c.Parent == 0 {
-			if len(c.Children) != 2 {
-				t.Fatalf("root children = %d, want 2", len(c.Children))
+			if n := c.NumChildren(); n != 2 {
+				t.Fatalf("root children = %d, want 2", n)
 			}
 		}
 	}
@@ -103,7 +103,7 @@ func runInterferenceOrphaned(t *testing.T, cfg Config) {
 	k0, k1 := s.Kernel(0), s.Kernel(1)
 	for _, key := range k0.store.Keys() {
 		c := k0.store.Lookup(key)
-		if _, ok := c.Object.(*cap.MemObject); ok && len(c.Children) != 0 {
+		if _, ok := c.Object.(*cap.MemObject); ok && c.NumChildren() != 0 {
 			t.Fatalf("orphaned child left behind: %v", c)
 		}
 	}

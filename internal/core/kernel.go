@@ -109,18 +109,19 @@ type Kernel struct {
 	// dedup, dead-peer verdicts); nil in the baseline lossless mode.
 	rt *relState
 
-	// inflight limits unprocessed requests per destination kernel.
-	inflight map[int]*sim.Semaphore
+	// inflight limits unprocessed requests per destination kernel,
+	// indexed densely by kernel id (entries created lazily).
+	inflight []*sim.Semaphore
 	pending  map[uint64]*sim.Future[*ikcReply]
 	seq      uint64
 
 	// pendingDelegations holds capabilities created by the delegate
 	// two-way handshake that await the originator's acknowledgement.
-	pendingDelegations map[ddl.Key]*cap.Capability
+	pendingDelegations ddl.KeyMap[*cap.Capability]
 
 	// revocations maps every marked capability to the state of the
 	// revocation that marked it (paper Algorithm 1).
-	revocations map[ddl.Key]*revState
+	revocations ddl.KeyMap[*revState]
 
 	// Rounds-mode partitioned state (all nil/empty in merged mode, where
 	// System.services and System.dramNext stay authoritative):
@@ -152,20 +153,18 @@ type svcLoc struct {
 
 func newKernel(s *System, id int) *Kernel {
 	k := &Kernel{
-		id:                 id,
-		pe:                 id,
-		sys:                s,
-		dom:                s.domainOfKernel(id),
-		dtu:                s.Fab.DTU(id),
-		store:              cap.NewStore(),
-		gen:                ddl.NewGenerator(),
-		member:             s.member.Clone(),
-		cpu:                sim.NewSemaphore(s.Eng, 1),
-		link:               sim.NewSemaphore(s.Eng, 1),
-		inflight:           make(map[int]*sim.Semaphore),
-		pending:            make(map[uint64]*sim.Future[*ikcReply]),
-		pendingDelegations: make(map[ddl.Key]*cap.Capability),
-		revocations:        make(map[ddl.Key]*revState),
+		id:       id,
+		pe:       id,
+		sys:      s,
+		dom:      s.domainOfKernel(id),
+		dtu:      s.Fab.DTU(id),
+		store:    cap.NewStore(),
+		gen:      ddl.NewGenerator(),
+		member:   s.member.Clone(),
+		cpu:      sim.NewSemaphore(s.Eng, 1),
+		link:     sim.NewSemaphore(s.Eng, 1),
+		inflight: make([]*sim.Semaphore, s.cfg.Kernels),
+		pending:  make(map[uint64]*sim.Future[*ikcReply]),
 	}
 	if s.rounds {
 		k.svcOwn = make(map[string]*serviceEntry)
@@ -178,7 +177,7 @@ func newKernel(s *System, id int) *Kernel {
 		}
 	}
 	k.syscallPool = newPool(k, "sys", max(len(k.group), 1))
-	k.ikcPool = newPool(k, "ikc", MaxKernels*MaxInflight)
+	k.ikcPool = newPool(k, "ikc", k.ikcWindow())
 	k.revokePool = newPool(k, "rev", RevokeThreads)
 	k.xport = newTransport(k, s.cfg.batchingPolicy())
 	if s.rel != nil {
@@ -194,12 +193,21 @@ func newKernel(s *System, id int) *Kernel {
 	// The coalesced request-envelope endpoint. One envelope is one wire
 	// message and occupies one slot, so the in-flight bound per peer sizes
 	// the budget.
-	must(k.dtu.ConfigureRecvVec(k.dtu, ikcBatchEP, MaxKernels*MaxInflight, k.recvBatch))
+	must(k.dtu.ConfigureRecvVec(k.dtu, ikcBatchEP, k.ikcWindow(), k.recvBatch))
 	// The coalesced reply-envelope endpoint. The demux frees every carried
 	// message within the delivery event, so occupancy is transient; the
 	// budget mirrors the batch endpoint's for symmetry.
-	must(k.dtu.ConfigureRecvVec(k.dtu, ikcReplyEP, MaxKernels*MaxInflight, k.recvReplyVec))
+	must(k.dtu.ConfigureRecvVec(k.dtu, ikcReplyEP, k.ikcWindow(), k.recvReplyVec))
 	return k
+}
+
+// ikcWindow is the total inter-kernel in-flight budget this kernel must be
+// able to absorb: every peer may have MaxInflight requests outstanding. For
+// configurations within the architectural limit this is the historical
+// MaxKernels*MaxInflight constant; relaxed-limit scale runs grow it with the
+// actual kernel count.
+func (k *Kernel) ikcWindow() int {
+	return max(MaxKernels, k.sys.cfg.Kernels) * MaxInflight
 }
 
 // ID returns the kernel's id.
@@ -220,7 +228,7 @@ func (k *Kernel) Store() *cap.Store { return k.store }
 // ThreadPoolSize returns the bound of Equation 1:
 // V_group + K_max * M_inflight.
 func (k *Kernel) ThreadPoolSize() int {
-	return len(k.group) + MaxKernels*MaxInflight
+	return len(k.group) + k.ikcWindow()
 }
 
 // exec charges d cycles of kernel CPU time. The caller must hold the CPU

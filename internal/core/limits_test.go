@@ -201,8 +201,8 @@ func TestSessionCloseSevers(t *testing.T) {
 	// The service capability must have no children left.
 	k0 := s.KernelOfPE(svcVPE.PE)
 	for _, c := range k0.store.VPECaps(svcVPE.ID) {
-		if _, ok := c.Object.(*cap.ServiceObject); ok && len(c.Children) != 0 {
-			t.Fatalf("service cap still has %d children after session close", len(c.Children))
+		if _, ok := c.Object.(*cap.ServiceObject); ok && c.NumChildren() != 0 {
+			t.Fatalf("service cap still has %d children after session close", c.NumChildren())
 		}
 	}
 	checkAllInvariants(t, s)

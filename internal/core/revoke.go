@@ -56,8 +56,8 @@ func (k *Kernel) sysRevoke(p *sim.Proc, req *sysRequest) *sysReply {
 func (k *Kernel) revokeSubtree(p *sim.Proc, c *cap.Capability) {
 	if c.Marked {
 		// Join the revocation already running for this capability.
-		rs := k.revocations[c.Key]
-		if rs == nil {
+		rs, ok := k.revocations.Get(c.Key)
+		if !ok {
 			return // already swept
 		}
 		fut := sim.NewFuture[struct{}](k.sys.Eng)
@@ -96,12 +96,13 @@ func (k *Kernel) revokeSubtree(p *sim.Proc, c *cap.Capability) {
 // revoke_children).
 func (k *Kernel) revokeChildren(p *sim.Proc, c *cap.Capability, rs *revState) {
 	c.Marked = true
-	k.revocations[c.Key] = rs
+	k.revocations.Put(c.Key, rs)
 	rs.marked = append(rs.marked, c.Key)
 	k.exec(p, k.sys.Cost.RevokeMark)
 
-	children := make([]ddl.Key, len(c.Children))
-	copy(children, c.Children)
+	// Snapshot the child list: the recursion below reaches preemption
+	// points, and c's children may change while this thread is parked.
+	children := c.AppendChildren(nil)
 	for _, childKey := range children {
 		k.exec(p, k.sys.Cost.DDLDecode)
 		owner := k.member.KernelOfKey(childKey)
@@ -113,7 +114,7 @@ func (k *Kernel) revokeChildren(p *sim.Proc, c *cap.Capability, rs *revState) {
 			if child.Marked {
 				// Overlapping revocation: our subtree is complete only when
 				// that one is. Count it like an outstanding reply.
-				other := k.revocations[childKey]
+				other, _ := k.revocations.Get(childKey)
 				if other != nil && other != rs {
 					rs.outstanding++
 					other.waiters = append(other.waiters, func(p2 *sim.Proc) {
@@ -188,8 +189,8 @@ func (k *Kernel) finishRevocation(p *sim.Proc, rs *revState) {
 	rs.done = true
 	k.deleteTree(p, rs.root, rs)
 	for _, key := range rs.marked {
-		if k.revocations[key] == rs {
-			delete(k.revocations, key)
+		if cur, _ := k.revocations.Get(key); cur == rs {
+			k.revocations.Delete(key)
 		}
 	}
 	waiters := rs.waiters
@@ -206,23 +207,24 @@ func (k *Kernel) deleteTree(p *sim.Proc, c *cap.Capability, rs *revState) {
 	if k.store.Lookup(c.Key) == nil {
 		return
 	}
-	for _, childKey := range c.Children {
+	c.ForEachChild(func(childKey ddl.Key) {
 		if k.member.KernelOfKey(childKey) != k.id {
-			continue
+			return
 		}
-		if k.revocations[childKey] != rs {
-			continue // owned by an overlapping revocation
+		if cur, _ := k.revocations.Get(childKey); cur != rs {
+			return // owned by an overlapping revocation
 		}
 		if child := k.store.Lookup(childKey); child != nil {
 			k.deleteTree(p, child, rs)
 		}
-	}
+	})
 	k.exec(p, k.sys.Cost.RevokeDelete)
+	// Invalidate any user endpoint configured from this capability so the
+	// resource becomes inaccessible (enforcement). Must precede Remove: the
+	// store recycles the slab slot, so c's fields are gone afterwards.
+	k.invalidateEPs(c)
 	k.store.Remove(c.Key)
 	k.stats.CapsDeleted++
-	// Invalidate any user endpoint configured from this capability so the
-	// resource becomes inaccessible (enforcement).
-	k.invalidateEPs(c)
 }
 
 // handleRevokeReq processes an incoming revoke request (Algorithm 1,
@@ -240,8 +242,8 @@ func (k *Kernel) handleRevokeReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 	if c.Marked {
 		// Join the running revocation; reply when it completes. Replying
 		// now would acknowledge an incomplete revoke ("Incomplete").
-		rs := k.revocations[req.Key]
-		if rs == nil {
+		rs, ok := k.revocations.Get(req.Key)
+		if !ok {
 			return &ikcReply{}
 		}
 		rs.waiters = append(rs.waiters, func(p2 *sim.Proc) {
@@ -280,7 +282,7 @@ func (k *Kernel) handleRevokeBatchReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 			continue // already revoked
 		}
 		if c.Marked {
-			if rs := k.revocations[key]; rs != nil {
+			if rs, ok := k.revocations.Get(key); ok {
 				outstanding++
 				rs.waiters = append(rs.waiters, func(*sim.Proc) {
 					outstanding--

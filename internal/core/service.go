@@ -258,10 +258,14 @@ func (k *Kernel) sysCreateSession(p *sim.Proc, req *sysRequest) *sysReply {
 			return &sysReply{Err: res.Errno}
 		}
 		sessKey := ddl.NewKey(v.PE, v.ID, ddl.TypeSession, objID)
-		svcCap.AddChild(sessKey)
+		// The service query is a preemption point and the store compacts
+		// removed slots; re-resolve the service capability before linking.
+		if cur := k.store.Lookup(loc.key); cur != nil {
+			cur.AddChild(sessKey)
+		}
 		k.exec(p, k.sys.Cost.CapLink)
 		info = sessionInfo{SvcPE: entry.vpe.PE, SvcEP: clientEPFor(res.Ident), Ident: res.Ident}
-		parentKey = svcCap.Key
+		parentKey = loc.key
 		k.stats.Sessions++
 	} else {
 		k.exec(p, k.sys.Cost.IKCMarshal)
@@ -324,10 +328,14 @@ func (k *Kernel) handleSessionReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 		return &ikcReply{Err: res.Errno}
 	}
 	sessKey := ddl.NewKey(req.ChildPE, req.ChildVPE, ddl.TypeSession, req.ChildObj)
-	svcCap.AddChild(sessKey)
+	// Re-resolve after the service query (preemption point): the store
+	// compacts removed slots, so svcCap may no longer be the service.
+	if cur := k.store.Lookup(req.Key); cur != nil {
+		cur.AddChild(sessKey)
+	}
 	k.exec(p, k.sys.Cost.CapLink+k.sys.Cost.IKCMarshal)
 	return &ikcReply{
-		Key:  svcCap.Key,
+		Key:  req.Key,
 		Args: sessionInfo{SvcPE: sv.PE, SvcEP: clientEPFor(res.Ident), Ident: res.Ident},
 	}
 }
@@ -483,11 +491,15 @@ func (k *Kernel) sysDelegateSess(p *sim.Proc, req *sysRequest) *sysReply {
 			return &sysReply{Err: ErrNoService}
 		}
 		obj := deriveObject(c.Object)
+		// The service query is a preemption point; re-resolve the delegated
+		// capability by key afterwards (the store compacts removed slots).
+		cKey := c.Key
 		res := k.queryService(p, entry.vpe, svcEvent{kind: SvcDelegate, ident: so.Ident, args: req.Args, obj: obj})
 		if res.Errno != OK || !res.Accept {
 			return &sysReply{Err: ErrDenied}
 		}
-		if k.store.Lookup(c.Key) == nil || c.Marked {
+		cur := k.store.Lookup(cKey)
+		if cur == nil || cur.Marked {
 			return &sysReply{Err: ErrInRevocation}
 		}
 		child := &cap.Capability{
@@ -495,20 +507,23 @@ func (k *Kernel) sysDelegateSess(p *sim.Proc, req *sysRequest) *sysReply {
 			Owner:  entry.vpe.ID,
 			Sel:    k.store.AllocSel(entry.vpe.ID),
 			Object: obj,
-			Perm:   c.Perm,
-			Parent: c.Key,
+			Perm:   cur.Perm,
+			Parent: cKey,
 		}
-		c.AddChild(child.Key)
+		cur.AddChild(child.Key)
 		k.exec(p, k.sys.Cost.CapLink)
 		k.insertCap(p, child)
 		k.stats.Delegates++
 		return &sysReply{Sel: child.Sel, Args: res.Reply}
 	}
 
+	// Inter-kernel calls below are preemption points; resolve the delegated
+	// capability by its hoisted key afterwards, never through the pointer.
+	cKey := c.Key
 	k.exec(p, k.sys.Cost.IKCMarshal)
 	rep := k.ikCall(p, svcKernel, &ikcRequest{
 		Kind:   ikcDelegateSess,
-		Key:    c.Key,
+		Key:    cKey,
 		Ident:  so.Ident,
 		VPE:    v.ID,
 		Object: deriveObject(c.Object),
@@ -521,7 +536,7 @@ func (k *Kernel) sysDelegateSess(p *sim.Proc, req *sysRequest) *sysReply {
 	}
 	childKey := rep.Key
 	k.exec(p, k.sys.Cost.CapLookup)
-	cur := k.store.Lookup(c.Key)
+	cur := k.store.Lookup(cKey)
 	if cur == nil || cur.Marked {
 		k.ikCall(p, svcKernel, &ikcRequest{Kind: ikcDelegateAck, Child: childKey, Ok: false})
 		return &sysReply{Err: ErrInRevocation}
@@ -530,7 +545,7 @@ func (k *Kernel) sysDelegateSess(p *sim.Proc, req *sysRequest) *sysReply {
 	k.exec(p, k.sys.Cost.CapLink)
 	ack := k.ikCall(p, svcKernel, &ikcRequest{Kind: ikcDelegateAck, Child: childKey, Ok: true})
 	if ack.Err != OK {
-		if again := k.store.Lookup(c.Key); again != nil {
+		if again := k.store.Lookup(cKey); again != nil {
 			again.RemoveChild(childKey)
 		}
 		k.stats.Orphans++
@@ -566,7 +581,7 @@ func (k *Kernel) handleDelegateSessReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 		Parent: req.Key,
 	}
 	k.exec(p, k.sys.Cost.CapCreate)
-	k.pendingDelegations[childKey] = child
+	k.pendingDelegations.Put(childKey, child)
 	return &ikcReply{Key: childKey, Args: res.Reply}
 }
 

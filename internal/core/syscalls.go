@@ -175,14 +175,18 @@ func (k *Kernel) sysActivate(p *sim.Proc, req *sysRequest) *sysReply {
 		return &sysReply{Err: ErrInRevocation}
 	}
 	k.exec(p, k.sys.Cost.EPConfig)
+	// Capture the capability's payload before the round trip below releases
+	// the CPU: the DTU is configured from the state observed at lookup time,
+	// and the slab slot may be recycled while this thread is parked.
+	object, perm := c.Object, c.Perm
 	// Configuring a remote DTU costs a NoC round trip.
 	rt := k.sys.Net.Latency(k.pe, v.PE, 32) + k.sys.Net.Latency(v.PE, k.pe, 16)
 	k.releaseCPU()
 	p.Sleep(rt)
 	k.acquireCPU(p)
-	switch obj := c.Object.(type) {
+	switch obj := object.(type) {
 	case *cap.MemObject:
-		must(v.dtu.ConfigureMem(k.dtu, req.EP, obj.PE, obj.Off, obj.Size, c.Perm&obj.Perm))
+		must(v.dtu.ConfigureMem(k.dtu, req.EP, obj.PE, obj.Off, obj.Size, perm&obj.Perm))
 	case *cap.SendObject:
 		must(v.dtu.ConfigureSend(k.dtu, req.EP, obj.DstPE, obj.DstEP, obj.Credits, obj.Label))
 	default:

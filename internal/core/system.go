@@ -86,6 +86,14 @@ type Config struct {
 	//     Faults and NoC contention, whose state is shared across all
 	//     senders.
 	SimMode string
+	// RelaxLimits lifts the architectural sizing limits (MaxKernels,
+	// MaxPEsPerKernel) for scalability studies: the machine may then be
+	// built with more kernels and larger PE groups than real SemperOS
+	// hardware would allow. Per-kernel resources that are sized from
+	// MaxKernels (inter-kernel thread pools, envelope endpoints) grow with
+	// the actual kernel count instead. The ddl.Key bit-field widths still
+	// bound the machine at MaxPEs total PEs.
+	RelaxLimits bool
 }
 
 // SimMode values for Config.SimMode.
@@ -124,15 +132,18 @@ func (c Config) withDefaults() Config {
 // Validate reports configuration errors against the architectural limits.
 func (c Config) Validate() error {
 	c = c.withDefaults()
-	if c.Kernels > MaxKernels {
+	if c.Kernels > MaxKernels && !c.RelaxLimits {
 		return fmt.Errorf("core: %d kernels exceed the maximum of %d", c.Kernels, MaxKernels)
 	}
 	if c.UserPEs <= 0 {
 		return errors.New("core: at least one user PE is required")
 	}
 	perKernel := (c.UserPEs + c.Kernels - 1) / c.Kernels
-	if perKernel > MaxPEsPerKernel {
+	if perKernel > MaxPEsPerKernel && !c.RelaxLimits {
 		return fmt.Errorf("core: %d PEs per kernel exceed the maximum of %d", perKernel, MaxPEsPerKernel)
+	}
+	if total := c.Kernels + c.UserPEs + c.MemPEs; total > ddl.MaxPEs {
+		return fmt.Errorf("core: %d total PEs exceed the DDL key space of %d", total, ddl.MaxPEs)
 	}
 	switch c.SimMode {
 	case "", SimModeMerged:

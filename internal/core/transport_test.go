@@ -350,7 +350,7 @@ func TestReplyEnvelopeDelegateHandshake(t *testing.T) {
 	// No handshake may be left half-open, and the replies must actually
 	// have ridden envelopes for the test to mean anything.
 	for ki := 0; ki < s.Kernels(); ki++ {
-		if n := len(s.Kernel(ki).pendingDelegations); n != 0 {
+		if n := s.Kernel(ki).pendingDelegations.Len(); n != 0 {
 			t.Fatalf("kernel %d holds %d dangling pending delegations", ki, n)
 		}
 	}

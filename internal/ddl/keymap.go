@@ -1,0 +1,147 @@
+package ddl
+
+// KeyMap is an open-addressing hash table from Key to V, tuned for the
+// simulator's hot paths: a Key is a single uint64, so the table stores keys
+// and values in two flat slices (no per-entry allocation, no bucket
+// pointers) and probes linearly from a strong 64-bit mix of the key.
+//
+// The zero KeyMap is empty and ready to use. Key 0 is the invalid DDL key
+// and doubles as the empty-slot sentinel; inserting it panics. Deletion uses
+// backward-shift compaction, so the table never accumulates tombstones and
+// lookups stay O(probe distance) forever. Values of deleted entries are
+// zeroed so the table does not retain pointers for the GC.
+//
+// Iteration order (Range) is table order, which depends on the hash layout —
+// callers that need determinism must not iterate.
+type KeyMap[V any] struct {
+	keys []Key
+	vals []V
+	n    int
+}
+
+// hashKey finalizes a key with the splitmix64 mixer: cheap, and strong
+// enough that the structured DDL bit fields (PE/VPE/type/object) spread
+// uniformly over the table.
+func hashKey(k Key) uint64 {
+	x := uint64(k)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Len returns the number of stored entries.
+func (m *KeyMap[V]) Len() int { return m.n }
+
+// Get returns the value stored under k.
+func (m *KeyMap[V]) Get(k Key) (V, bool) {
+	var zero V
+	if m.n == 0 || k == 0 {
+		return zero, false
+	}
+	mask := uint64(len(m.keys) - 1)
+	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+		switch m.keys[i] {
+		case k:
+			return m.vals[i], true
+		case 0:
+			return zero, false
+		}
+	}
+}
+
+// Put stores v under k, replacing any existing entry.
+func (m *KeyMap[V]) Put(k Key, v V) {
+	if k == 0 {
+		panic("ddl: KeyMap key 0 (invalid key)")
+	}
+	// Grow at 3/4 load so linear probing stays short.
+	if len(m.keys) == 0 || m.n >= len(m.keys)*3/4 {
+		m.grow()
+	}
+	mask := uint64(len(m.keys) - 1)
+	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+		switch m.keys[i] {
+		case k:
+			m.vals[i] = v
+			return
+		case 0:
+			m.keys[i] = k
+			m.vals[i] = v
+			m.n++
+			return
+		}
+	}
+}
+
+// Delete removes the entry stored under k; absent keys are a no-op.
+func (m *KeyMap[V]) Delete(k Key) {
+	if m.n == 0 || k == 0 {
+		return
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := hashKey(k) & mask
+	for {
+		if m.keys[i] == 0 {
+			return
+		}
+		if m.keys[i] == k {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	// Backward-shift compaction: pull displaced entries into the hole so no
+	// tombstone is needed. An entry at j may fill slot i iff its home slot
+	// is not in the cyclic range (i, j].
+	var zero V
+	j := i
+	for {
+		j = (j + 1) & mask
+		if m.keys[j] == 0 {
+			break
+		}
+		home := hashKey(m.keys[j]) & mask
+		if (j-home)&mask >= (j-i)&mask {
+			m.keys[i] = m.keys[j]
+			m.vals[i] = m.vals[j]
+			i = j
+		}
+	}
+	m.keys[i] = 0
+	m.vals[i] = zero
+	m.n--
+}
+
+// Range calls fn for every entry in table order until fn returns false.
+// The order is not deterministic across different insertion histories.
+func (m *KeyMap[V]) Range(fn func(k Key, v V) bool) {
+	for i, k := range m.keys {
+		if k != 0 && !fn(k, m.vals[i]) {
+			return
+		}
+	}
+}
+
+func (m *KeyMap[V]) grow() {
+	newCap := 16
+	if len(m.keys) > 0 {
+		newCap = len(m.keys) * 2
+	}
+	oldKeys, oldVals := m.keys, m.vals
+	m.keys = make([]Key, newCap)
+	m.vals = make([]V, newCap)
+	mask := uint64(newCap - 1)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := hashKey(k) & mask
+		for m.keys[j] != 0 {
+			j = (j + 1) & mask
+		}
+		m.keys[j] = k
+		m.vals[j] = oldVals[i]
+	}
+}
