@@ -12,7 +12,10 @@
 //	semperos-bench -quick -simmode rounds -simworkers 4  # isolated rounds
 //
 // Experiments: table3, fig4, fig5, table4, fig6, fig7, fig8, fig9, fig10,
-// ablation. Every experiment plans its runs as serializable task specs and
+// ablation; opt-in extras (excluded from "all"): ablation-ikc, faults,
+// scale, churn — the churn scenario races open-loop session churn and a
+// revocation storm against a kernel crash+recovery (-crashkernel).
+// Every experiment plans its runs as serializable task specs and
 // executes them on a worker pool (-parallel, default GOMAXPROCS) or — with
 // -shards N — on N re-exec'd worker processes speaking an NDJSON
 // spec/result protocol on stdin/stdout, dispatched longest-first by the
@@ -44,7 +47,7 @@ var experimentNames = []string{
 	"table3", "fig4", "fig5", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
 }
 
-var extraExperimentNames = []string{"ablation-ikc", "faults", "scale"}
+var extraExperimentNames = []string{"ablation-ikc", "faults", "scale", "churn"}
 
 func main() {
 	// realMain holds all the defers (profile flushing, worker shutdown, file
@@ -54,7 +57,7 @@ func main() {
 }
 
 func realMain() int {
-	experiment := flag.String("experiment", "all", "comma-separated list: table3,fig4,fig5,table4,fig6,fig7,fig8,fig9,fig10,ablation,all; extras (opt-in, excluded from all): ablation-ikc, faults, scale")
+	experiment := flag.String("experiment", "all", "comma-separated list: table3,fig4,fig5,table4,fig6,fig7,fig8,fig9,fig10,ablation,all; extras (opt-in, excluded from all): ablation-ikc, faults, scale, churn")
 	quick := flag.Bool("quick", false, "run at reduced scale (64 instances, 8 kernels)")
 	parallel := flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS); ignored with -shards")
 	shards := flag.Int("shards", 0, "execute the sweep on N worker processes (0 = in-process)")
@@ -67,6 +70,7 @@ func realMain() int {
 	faultseed := flag.Uint64("faultseed", 1, "seed of the deterministic fault injector (faults experiment); identical seeds reproduce runs byte-identically at any -parallel/-shards/-simworkers")
 	scalekernels := flag.Int("scalekernels", 0, "cap the scale experiment's grid at this many kernels (0 = the full grid up to 1024)")
 	scalebudget := flag.Duration("scalebudget", 10*time.Minute, "wall-clock budget of the scale experiment; grid points past it are skipped (0 = unlimited)")
+	crashkernel := flag.Int("crashkernel", -1, "churn experiment: kernel to crash and recover mid-storm (-1 = the last kernel); crashing kernel 0 under -simmode rounds is rejected")
 	worker := flag.Bool("worker", false, "internal: serve the shard worker protocol on stdin/stdout")
 	flag.Parse()
 
@@ -250,6 +254,21 @@ func realMain() int {
 	runExtra("ablation-ikc", func() { bench.AblationIKC(opts, 96, 12).Print(os.Stdout) })
 	runExtra("faults", func() { bench.Faults(opts, 64, 8).Print(os.Stdout) })
 	runExtra("scale", func() { bench.Scale(opts, *scalekernels, *scalebudget).Print(os.Stdout) })
+	var churnErr error
+	runExtra("churn", func() {
+		r, err := bench.Churn(opts, 64, 8, *crashkernel)
+		if err != nil {
+			churnErr = err
+			return
+		}
+		r.Print(os.Stdout)
+	})
+	if churnErr != nil {
+		// An invalid scenario (out-of-range kernel, kernel 0 under rounds) is
+		// a usage error, rejected before any simulation ran.
+		fmt.Fprintln(os.Stderr, churnErr)
+		return 2
+	}
 
 	fmt.Printf("[%d experiments, %d workers, total %v]\n", ran, workers, total.Round(time.Millisecond))
 	report.WallclockSummary(os.Stdout, 10)

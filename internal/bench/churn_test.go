@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestChurnStorm drives the churn scenario at test scale and checks its
+// headline contract: the storm drains (no hangs), the crashed kernel
+// rejoins exactly once, operations degrade but complete partially, and no
+// capability or DDL state is left owned by the dead incarnation.
+func TestChurnStorm(t *testing.T) {
+	r, err := Churn(Options{FaultSeed: 1}, 64, 8, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(r.Rows))
+	}
+	if r.CrashKernel != 8 {
+		t.Fatalf("auto crash kernel = %d, want the last kernel (8)", r.CrashKernel)
+	}
+	for _, row := range r.Rows {
+		if row.Aux.LeakedEntries != 0 {
+			t.Errorf("%s at %dbp leaked %d entries", row.Scenario, row.DropBp, row.Aux.LeakedEntries)
+		}
+		if row.Completed <= 0 || row.Completed > 1 {
+			t.Errorf("%s at %dbp: completed %.3f outside (0, 1]", row.Scenario, row.DropBp, row.Completed)
+		}
+		// The revocation storm must race at least one exchange into failure
+		// on every row — otherwise the schedule no longer interleaves and
+		// the scenario tests nothing.
+		if row.Aux.ObtainsOK == row.Aux.ObtainsAttempted {
+			t.Errorf("%s at %dbp: every obtain succeeded — no revocation/exchange race", row.Scenario, row.DropBp)
+		}
+		if row.Aux.RevokesOK == 0 {
+			t.Errorf("%s at %dbp: no revocation succeeded", row.Scenario, row.DropBp)
+		}
+		switch row.Scenario {
+		case "nocrash":
+			if row.Aux.Rejoins != 0 {
+				t.Errorf("nocrash row recorded %d rejoins", row.Aux.Rejoins)
+			}
+		case "storm":
+			if row.Aux.Rejoins != 1 {
+				t.Errorf("storm at %dbp: Rejoins = %d, want 1", row.DropBp, row.Aux.Rejoins)
+			}
+			if row.Aux.MeanRejoinCycles == 0 {
+				t.Errorf("storm at %dbp: rejoin recorded no cycles", row.DropBp)
+			}
+			if row.Aux.InjBlackholed == 0 {
+				t.Errorf("storm at %dbp: nothing blackholed — crash window missed the storm", row.DropBp)
+			}
+			// Post-recovery arrivals must reach the rejoined fabric: the
+			// storm cannot fail every obtain of the crashed kernel's clients.
+			if row.Aux.ObtainsOK == 0 {
+				t.Errorf("storm at %dbp: every obtain failed", row.DropBp)
+			}
+		}
+	}
+}
+
+// TestChurnDeterministic: the churn report is an exact function of (seed,
+// plan) — byte-identical across worker-pool sizes and event-queue
+// partitionings, and different under a different seed.
+func TestChurnDeterministic(t *testing.T) {
+	a, err := Churn(Options{FaultSeed: 3, Parallel: 1}, 32, 4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Churn(Options{FaultSeed: 3, Parallel: 4}, 32, 4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical seeds diverged across pool sizes:\n%+v\n%+v", a, b)
+	}
+	c, err := Churn(Options{FaultSeed: 3, SimWorkers: 4}, 32, 4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Errorf("partitioned run diverged from sequential:\n%+v\n%+v", a, c)
+	}
+	d, err := Churn(Options{FaultSeed: 4}, 32, 4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Rows, d.Rows) {
+		t.Errorf("seeds 3 and 4 produced identical storms")
+	}
+}
+
+// TestChurnRounds: the scenario runs under isolated rounds — deterministic
+// across repeats and leak-free — as long as the crashed kernel is not the
+// rounds-mode DRAM-refill home.
+func TestChurnRounds(t *testing.T) {
+	run := func() ChurnResult {
+		r, err := Churn(Options{FaultSeed: 1, SimMode: core.SimModeRounds}, 32, 4, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("rounds-mode churn diverged across identical runs:\n%+v\n%+v", a, b)
+	}
+	for _, row := range a.Rows {
+		if row.Aux.LeakedEntries != 0 {
+			t.Errorf("rounds %s at %dbp leaked %d entries", row.Scenario, row.DropBp, row.Aux.LeakedEntries)
+		}
+		if row.Scenario == "storm" && row.Aux.Rejoins != 1 {
+			t.Errorf("rounds storm at %dbp: Rejoins = %d, want 1", row.DropBp, row.Aux.Rejoins)
+		}
+	}
+}
+
+// TestChurnRejectsInvalidScenarios: crashing kernel 0 under rounds (the
+// DRAM-refill home) and out-of-range crash kernels are errors before any
+// simulation runs.
+func TestChurnRejectsInvalidScenarios(t *testing.T) {
+	if _, err := Churn(Options{SimMode: core.SimModeRounds}, 16, 4, 0); err == nil {
+		t.Errorf("crashing kernel 0 under rounds was accepted")
+	} else if !strings.Contains(err.Error(), "kernel 0") {
+		t.Errorf("unexpected error for kernel 0 under rounds: %v", err)
+	}
+	if _, err := Churn(Options{}, 16, 4, 9); err == nil {
+		t.Errorf("out-of-range crash kernel was accepted")
+	}
+	// Kernel 0 under merged mode is degenerate but legal.
+	if _, err := Churn(Options{}, 16, 4, 0); err != nil {
+		t.Errorf("crashing kernel 0 under merged mode rejected: %v", err)
+	}
+}

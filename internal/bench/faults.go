@@ -32,6 +32,12 @@ var faultsRates = []int{0, 25, 100, 400}
 // mid-fan-out (after the victims connected, before the fan-out drains).
 const faultsCrashAt sim.Time = 100_000
 
+// faultsRecoverAt ends the blackhole window of the crash+recover scenario:
+// late enough that the victims' death verdicts and retransmission ladders
+// are well underway, early enough that the rejoin resolves the run long
+// before the permanent-crash row's full RTO ladder would.
+const faultsRecoverAt sim.Time = 400_000
+
 // faultsPlan builds the sweep's plan for one drop rate: duplication at
 // half the drop rate and a fixed small delivery jitter ride along, so one
 // knob exercises all three probabilistic fault types.
@@ -64,6 +70,17 @@ type faultsAux struct {
 	InjDelayed         uint64 `json:"injdelayed"`
 	InjBlackholed      uint64 `json:"injblackholed"`
 	CapsCreated        uint64 `json:"capscreated"`
+	// Rejoins/MeanRejoinCycles/StaleIncarnation cover the crash+recover
+	// scenario: completed rejoin handshakes, their mean duration, and
+	// dead-incarnation traffic rejected by the incarnation gate. Zero on
+	// rows without a recovery.
+	Rejoins          uint64 `json:"rejoins,omitempty"`
+	MeanRejoinCycles uint64 `json:"meanrejoin,omitempty"`
+	StaleIncarnation uint64 `json:"staleincarnation,omitempty"`
+	// LeakedEntries counts capability/DDL state left owned by a dead
+	// incarnation after the run (core.System.CheckLeaks); permanently
+	// crashed kernels are excused. Any nonzero value is a protocol bug.
+	LeakedEntries int `json:"leakedentries"`
 }
 
 func (a faultsAux) capsMinted() uint64 { return a.CapsCreated }
@@ -221,6 +238,16 @@ func runFaultsSpec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
 		// while everyone else completes.
 		plan.Kernels = append(plan.Kernels, fault.KernelFault{Kernel: extra, CrashAt: faultsCrashAt})
 		sys, mk, attempted, ok = faultsExchange(eng, n, extra, plan, spec.SimWorkers)
+	case "crashrecover":
+		// The crash+recover scenario: the same kernel crashes but rejoins
+		// mid-storm as a new incarnation. Operations in flight across the
+		// window abort (the old incarnation's requests cannot be completed),
+		// but the run resolves at the rejoin instead of grinding through the
+		// full RTO ladder, and no capability state may leak.
+		plan.Kernels = append(plan.Kernels, fault.KernelFault{
+			Kernel: extra, CrashAt: faultsCrashAt, RecoverAt: faultsRecoverAt,
+		})
+		sys, mk, attempted, ok = faultsExchange(eng, n, extra, plan, spec.SimWorkers)
 	case "svcquery":
 		sys, mk, attempted, ok = faultsSvcQuery(eng, n, extra, plan, spec.SimWorkers)
 	default:
@@ -234,6 +261,17 @@ func runFaultsSpec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
 	if st.Recovered > 0 {
 		meanRec = uint64(st.RecoveryCycles) / st.Recovered
 	}
+	var meanRejoin uint64
+	if st.Rejoins > 0 {
+		meanRejoin = uint64(st.RejoinCycles) / st.Rejoins
+	}
+	// The permanent crash leaves state only the dead kernel could clean up;
+	// every other scenario — recovery included — must leak nothing.
+	var deadKernels []int
+	if spec.Variant == "crash" {
+		deadKernels = append(deadKernels, extra)
+	}
+	leaks := sys.CheckLeaks(deadKernels...)
 	m := Metrics{
 		Cycles:    uint64(mk),
 		LostMsgs:  lost,
@@ -257,13 +295,17 @@ func runFaultsSpec(spec TaskSpec, eng *sim.Engine) (Metrics, any, error) {
 		InjDelayed:         fs.Delayed,
 		InjBlackholed:      fs.Blackholed,
 		CapsCreated:        st.CapsCreated,
+		Rejoins:            st.Rejoins,
+		MeanRejoinCycles:   meanRejoin,
+		StaleIncarnation:   st.StaleIncarnation,
+		LeakedEntries:      len(leaks),
 	}
 	return m, aux, nil
 }
 
-// faultsOps is the workload axis of the sweep. The crash scenario runs at
-// one fixed drop rate: its point is the dead-kernel degradation, not the
-// rate sweep.
+// faultsOps is the workload axis of the sweep. The crash and crash+recover
+// scenarios run at one fixed drop rate: their point is the dead-kernel
+// degradation and the rejoin resolution, not the rate sweep.
 var faultsOps = []string{"exchange", "svcquery"}
 
 // faultsSpecs plans the (workload × drop rate) grid plus the crash cell.
@@ -285,6 +327,14 @@ func faultsSpecs(n, extra int, seed uint64) []TaskSpec {
 		Experiment: "faults/crash-100bp",
 		Kind:       kindFaults,
 		Variant:    "crash",
+		Arg:        100,
+		Seed:       seed,
+		Config:     ExpConfig{Kernels: extra + 1, Instances: n},
+	})
+	specs = append(specs, TaskSpec{
+		Experiment: "faults/crashrecover-100bp",
+		Kind:       kindFaults,
+		Variant:    "crashrecover",
 		Arg:        100,
 		Seed:       seed,
 		Config:     ExpConfig{Kernels: extra + 1, Instances: n},
@@ -350,14 +400,17 @@ func Faults(o Options, maxClients, extra int) FaultsResult {
 // Print writes the fault-sweep table.
 func (r FaultsResult) Print(w io.Writer) {
 	fmt.Fprintf(w, "Fault injection: fan-out over 1+%d kernels, seed %d\n", r.ExtraKernels, r.Seed)
-	fmt.Fprintln(w, "workload   drop     makespan(µs)  completed  retries  dupdrops  lost  dead  recovery(µs)")
+	fmt.Fprintln(w, "workload      drop     makespan(µs)  completed  retries  dupdrops  lost  dead  recovery(µs)  rejoins  rejoin(µs)  leaks")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-9s  %5.2f%%  %12.2f  %8.1f%%  %7d  %8d  %4d  %4d  %12.2f\n",
+		fmt.Fprintf(w, "%-12s  %5.2f%%  %12.2f  %8.1f%%  %7d  %8d  %4d  %4d  %12.2f  %7d  %10.2f  %5d\n",
 			row.Workload,
 			float64(row.DropBp)/100,
 			float64(row.Makespan)/core.CyclesPerMicrosecond,
 			row.Completed*100,
 			row.Retries, row.DupDrops, row.LostMsgs, row.Aux.DeadPeers,
-			float64(row.Aux.MeanRecoveryCycles)/core.CyclesPerMicrosecond)
+			float64(row.Aux.MeanRecoveryCycles)/core.CyclesPerMicrosecond,
+			row.Aux.Rejoins,
+			float64(row.Aux.MeanRejoinCycles)/core.CyclesPerMicrosecond,
+			row.Aux.LeakedEntries)
 	}
 }

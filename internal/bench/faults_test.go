@@ -12,11 +12,20 @@ import (
 // finishes), and losses scale with the drop rate.
 func TestFaultsSweep(t *testing.T) {
 	r := Faults(Options{FaultSeed: 1}, 64, 8)
-	if len(r.Rows) != 2*len(faultsRates)+1 {
-		t.Fatalf("got %d rows, want %d", len(r.Rows), 2*len(faultsRates)+1)
+	if len(r.Rows) != 2*len(faultsRates)+2 {
+		t.Fatalf("got %d rows, want %d", len(r.Rows), 2*len(faultsRates)+2)
 	}
+	var crashRow, recoverRow FaultsRow
 	for _, row := range r.Rows {
-		if row.Workload != "crash" {
+		if row.Aux.LeakedEntries != 0 {
+			t.Errorf("%s at %dbp leaked %d entries", row.Workload, row.DropBp, row.Aux.LeakedEntries)
+		}
+		switch row.Workload {
+		case "crash":
+			crashRow = row
+		case "crashrecover":
+			recoverRow = row
+		default:
 			if row.Completed != 1 {
 				t.Errorf("%s at %dbp: completed %.3f, want 1 (retransmission must recover every loss)",
 					row.Workload, row.DropBp, row.Completed)
@@ -27,19 +36,38 @@ func TestFaultsSweep(t *testing.T) {
 			if row.DropBp >= 100 && row.LostMsgs == 0 {
 				t.Errorf("%s at %dbp lost nothing — injector not wired?", row.Workload, row.DropBp)
 			}
-			continue
 		}
-		// The crash scenario: the last client kernel dies mid-fan-out, its
-		// clients' operations resolve to errors, the rest complete.
-		if row.Completed >= 1 || row.Completed <= 0 {
-			t.Errorf("crash: completed %.3f, want partial completion in (0, 1)", row.Completed)
-		}
-		if row.Aux.DeadPeers == 0 {
-			t.Errorf("crash: no kernel declared a peer dead")
-		}
-		if row.Aux.FailFast == 0 && row.Aux.Attempted-row.Aux.Succeeded == 0 {
-			t.Errorf("crash: no degraded operations at all: %+v", row.Aux)
-		}
+	}
+	// The crash scenario: the last client kernel dies mid-fan-out, its
+	// clients' operations resolve to errors, the rest complete.
+	if crashRow.Completed >= 1 || crashRow.Completed <= 0 {
+		t.Errorf("crash: completed %.3f, want partial completion in (0, 1)", crashRow.Completed)
+	}
+	if crashRow.Aux.DeadPeers == 0 {
+		t.Errorf("crash: no kernel declared a peer dead")
+	}
+	if crashRow.Aux.FailFast == 0 && crashRow.Aux.Attempted-crashRow.Aux.Succeeded == 0 {
+		t.Errorf("crash: no degraded operations at all: %+v", crashRow.Aux)
+	}
+	// The crash+recover scenario: the same kernel rejoins mid-storm. The old
+	// incarnation's in-flight operations abort, so completion stays partial,
+	// but the rejoin resolves the run far faster than the permanent crash's
+	// RTO ladder.
+	if recoverRow.Completed >= 1 || recoverRow.Completed <= 0 {
+		t.Errorf("crashrecover: completed %.3f, want partial completion in (0, 1)", recoverRow.Completed)
+	}
+	if recoverRow.Aux.Rejoins != 1 {
+		t.Errorf("crashrecover: Rejoins = %d, want 1", recoverRow.Aux.Rejoins)
+	}
+	if recoverRow.Aux.MeanRejoinCycles == 0 {
+		t.Errorf("crashrecover: rejoin recorded no cycles")
+	}
+	if crashRow.Aux.Rejoins != 0 {
+		t.Errorf("crash: Rejoins = %d on a permanent crash", crashRow.Aux.Rejoins)
+	}
+	if recoverRow.Makespan >= crashRow.Makespan {
+		t.Errorf("crashrecover makespan %d not faster than permanent crash %d — rejoin did not resolve the storm",
+			recoverRow.Makespan, crashRow.Makespan)
 	}
 }
 

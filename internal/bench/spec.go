@@ -34,9 +34,14 @@ type TaskSpec struct {
 	// Arg is a kind-specific scalar (fig4: the figure's max chain length,
 	// which sizes the machine identically across all its cells).
 	Arg int `json:"arg,omitempty"`
-	// Seed keys the deterministic fault injector (kind "faults" only). It
-	// travels with the spec so sharded workers reproduce the same faults.
+	// Seed keys the deterministic fault injector (kinds "faults" and
+	// "churn"). It travels with the spec so sharded workers reproduce the
+	// same faults.
 	Seed uint64 `json:"seed,omitempty"`
+	// CrashKernel is the kernel PE the churn scenario crashes and recovers
+	// (kind "churn" only); -1 means no crash. The zero value round-trips
+	// through omitempty unchanged (absent decodes back to 0).
+	CrashKernel int `json:"crashkernel,omitempty"`
 	// SimWorkers partitions each run's event queue per kernel block (see
 	// core.Config.SimWorkers). It travels with the spec so sharded workers
 	// apply the same partitioning; simulated metrics are byte-identical at

@@ -27,6 +27,15 @@ func checkAllInvariants(t *testing.T, s *System) {
 	}
 }
 
+// checkNoLeaks asserts CheckLeaks finds nothing after the machine drained.
+// deadKernels excuses kernels that crashed and never recovered.
+func checkNoLeaks(t *testing.T, s *System, deadKernels ...int) {
+	t.Helper()
+	for _, p := range s.CheckLeaks(deadKernels...) {
+		t.Errorf("leak: %s", p)
+	}
+}
+
 // totalCaps counts capabilities across all kernels.
 func totalCaps(s *System) int {
 	n := 0

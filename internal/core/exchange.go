@@ -97,6 +97,25 @@ func (k *Kernel) obtainLocal(p *sim.Proc, v *VPE, srcVPE int, srcSel cap.Selecto
 	return &sysReply{Sel: child.Sel}
 }
 
+// inflightObtain tracks one spanning obtain whose reply is still in flight.
+// The owner links the pre-agreed child key before its reply reaches us, so a
+// revocation can race the reply: the revoke request for the not-yet-inserted
+// key arrives here, finds nothing, and is confirmed as already revoked —
+// after which the owner deletes the parent. The tombstone makes the late (or
+// dedup-replayed) reply discard the child instead of inserting an orphan.
+type inflightObtain struct {
+	revoked bool
+}
+
+// exchangeID names an in-flight spanning exchange by the child-key fields
+// both sides know before the reply: creator PE, creator VPE and object id.
+// Object ids are minted per (pe, vpe) across all types (ddl.Generator), so
+// the triple identifies exactly one eventual key.
+func exchangeID(pe, vpe int, object uint64) uint64 {
+	return uint64(pe)<<(ddl.VPEBits+ddl.ObjectBits) |
+		uint64(vpe)<<ddl.ObjectBits | object
+}
+
 // obtainSpanning runs the distributed obtain: the owner kernel links the
 // (pre-agreed) child key under the source capability and returns the object;
 // this kernel then creates the child. If the requester died while the
@@ -104,6 +123,11 @@ func (k *Kernel) obtainLocal(p *sim.Proc, v *VPE, srcVPE int, srcSel cap.Selecto
 // a notification removes it (paper §4.3.2, case 1).
 func (k *Kernel) obtainSpanning(p *sim.Proc, v *VPE, owner *Kernel, srcVPE int, srcSel cap.Selector) *sysReply {
 	objID := k.gen.NextID(v.PE, v.ID)
+	// Register before sending: the owner cannot link (and thus revoke-walk)
+	// the child key before it has seen this request.
+	exID := exchangeID(v.PE, v.ID, objID)
+	po := &inflightObtain{}
+	k.inflightObtains[exID] = po
 	k.exec(p, k.sys.Cost.IKCMarshal)
 	rep := k.ikCall(p, owner.id, &ikcRequest{
 		Kind:     ikcObtain,
@@ -113,14 +137,22 @@ func (k *Kernel) obtainSpanning(p *sim.Proc, v *VPE, owner *Kernel, srcVPE int, 
 		ChildVPE: v.ID,
 		ChildObj: objID,
 	})
+	delete(k.inflightObtains, exID)
 	if rep.Err != OK {
 		return &sysReply{Err: rep.Err}
 	}
 	childKey := ddl.NewKey(v.PE, v.ID, rep.Object.ObjType(), objID)
+	if po.revoked {
+		// A revocation consumed the child key while the reply was in
+		// flight: this kernel already confirmed the key as gone and the
+		// owner deleted the parent subtree. Inserting now would leak an
+		// unreachable orphan.
+		return &sysReply{Err: ErrInRevocation}
+	}
 	if v.exited {
 		// Orphaned: the owner linked a child that will never exist here.
 		k.stats.Orphans++
-		k.ikNotify(p, owner.id, &ikcRequest{Kind: ikcUnlinkChild, Key: rep.Key, Child: childKey})
+		k.notifyUnlink(p, owner.id, rep.Key, childKey)
 		return &sysReply{Err: ErrVPEGone}
 	}
 	child := &cap.Capability{
@@ -293,8 +325,16 @@ func (k *Kernel) handleDelegateReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 	if dstV == nil || dstV.exited {
 		return &ikcReply{Err: ErrVPEGone}
 	}
+	inc := k.incarnation
 	if !k.askVPE(p, dstV, ExchangeQuery{Obtain: false, PeerVPE: req.VPE}) {
 		return &ikcReply{Err: ErrDenied}
+	}
+	if k.incarnation != inc {
+		// This thread was parked across a crash recovery: the rejoin reset
+		// wiped the pending-delegation table, and the originator's future
+		// aborted with ErrPeerDead — an entry created now could never be
+		// acknowledged and would leak forever (rejoin.go).
+		return &ikcReply{Err: ErrPeerDead}
 	}
 	childKey := k.mintKey(dstV.PE, dstV.ID, req.Object.ObjType())
 	child := &cap.Capability{

@@ -41,6 +41,7 @@ func (k *Kernel) ikSend(p *sim.Proc, dst int, req *ikcRequest) *sim.Future[*ikcR
 	k.exec(p, k.sys.Cost.IKCCompose)
 	req.Seq = k.nextSeq()
 	req.From = k.id
+	req.Inc = k.incarnation
 	fut := sim.NewFuture[*ikcReply](k.sys.Eng)
 	k.pending[req.Seq] = fut
 	if k.peerDead(dst) {
@@ -91,16 +92,21 @@ func (k *Kernel) ikCall(p *sim.Proc, dst int, req *ikcRequest) *ikcReply {
 // with an empty ack (see dispatchRequest): loss of a notification must be
 // observable so it can be retransmitted and its credit returned, and the
 // ack — completing a future nobody waits on — is what resolves the
-// transmission.
-func (k *Kernel) ikNotify(p *sim.Proc, dst int, req *ikcRequest) {
+// transmission. The ack's future is returned so callers can observe a
+// degraded outcome (ErrPeerDead) without blocking on it; in baseline
+// lossless mode there is no ack and the result is nil.
+func (k *Kernel) ikNotify(p *sim.Proc, dst int, req *ikcRequest) *sim.Future[*ikcReply] {
 	k.exec(p, k.sys.Cost.IKCCompose)
 	req.Seq = k.nextSeq()
 	req.From = k.id
+	req.Inc = k.incarnation
+	var fut *sim.Future[*ikcReply]
 	if k.reliable() {
-		k.pending[req.Seq] = sim.NewFuture[*ikcReply](k.sys.Eng)
+		fut = sim.NewFuture[*ikcReply](k.sys.Eng)
+		k.pending[req.Seq] = fut
 		if k.peerDead(dst) {
 			k.rt.failFast(req.Seq, dst)
-			return
+			return fut
 		}
 	}
 	k.stats.IKCSent++
@@ -115,6 +121,7 @@ func (k *Kernel) ikNotify(p *sim.Proc, dst int, req *ikcRequest) {
 	if k.rt != nil {
 		k.rt.track(dst, []*ikcRequest{req}, false, req.Kind)
 	}
+	return fut
 }
 
 // recvRequest runs at the receiving kernel when a request message arrives
@@ -133,7 +140,7 @@ func (k *Kernel) recvRequest(req *ikcRequest) {
 			k.returnCredit(req.From)
 		}
 		k.exec(p, k.sys.Cost.IKCDispatch)
-		if k.dedupCheck(req) {
+		if k.admitRequest(req) && k.dedupCheck(req) {
 			k.dispatchRequest(p, req)
 		}
 		// Dispatch barrier of the reply sink (see flushBatchReplies): a
@@ -199,7 +206,7 @@ func (k *Kernel) recvBatch(msgs []*dtu.Message) {
 		}
 		for _, req := range batch.Reqs {
 			k.exec(p, k.sys.Cost.IKCDispatch)
-			if k.dedupCheck(req) {
+			if k.admitRequest(req) && k.dedupCheck(req) {
 				k.dispatchRequest(p, req)
 			}
 		}
@@ -247,6 +254,8 @@ func (k *Kernel) dispatchRequest(p *sim.Proc, req *ikcRequest) {
 		rep = k.handleSvcRegister(p, req)
 	case ikcDRAMRefill:
 		rep = k.handleDRAMRefill(p, req)
+	case ikcRejoin:
+		rep = k.handleRejoin(p, req)
 	default:
 		panic("core: unknown inter-kernel request kind")
 	}
@@ -265,6 +274,7 @@ func (k *Kernel) ikReply(p *sim.Proc, req *ikcRequest, rep *ikcReply) {
 	k.exec(p, k.sys.Cost.IKCCompose)
 	rep.Seq = req.Seq
 	rep.From = k.id
+	rep.Inc = req.Inc
 	k.cacheReply(req.From, req.Seq, rep)
 	if k.xport.batchesReply(req.Kind) {
 		k.xport.enqueueReply(req.From, replyClassOf(req.Kind), rep)
@@ -289,6 +299,7 @@ func (k *Kernel) ikReply(p *sim.Proc, req *ikcRequest, rep *ikcReply) {
 func (k *Kernel) ikReplyAsync(req *ikcRequest, rep *ikcReply) {
 	rep.Seq = req.Seq
 	rep.From = k.id
+	rep.Inc = req.Inc
 	k.cacheReply(req.From, req.Seq, rep)
 	k.stats.Busy += k.sys.Cost.IKCCompose
 	k.stats.IKCRepSent++
@@ -318,6 +329,13 @@ func (k *Kernel) recvReplyVec(msgs []*dtu.Message) {
 // — on the lossless baseline the counter provably stays zero (every
 // reply matches a pending future), so flags-off traces are unchanged.
 func (k *Kernel) recvReply(rep *ikcReply) {
+	if k.rt != nil && rep.Inc != 0 && rep.Inc != k.incarnation {
+		// The reply echoes the incarnation that asked the question; this
+		// kernel has since crashed and recovered, so the answer belongs to
+		// the dead incarnation (its futures were already aborted at rejoin).
+		k.stats.StaleIncarnation++
+		return
+	}
 	fut := k.pending[rep.Seq]
 	if fut == nil {
 		k.stats.LateReplies++

@@ -52,6 +52,7 @@ func TestInterferenceSerialized(t *testing.T) {
 		}
 	}
 	checkAllInvariants(t, s)
+	checkNoLeaks(t, s)
 }
 
 // TestInterferenceOrphaned: the requester of a group-spanning obtain is
@@ -116,6 +117,7 @@ func runInterferenceOrphaned(t *testing.T, cfg Config) {
 		t.Fatal("orphan cleanup not recorded")
 	}
 	checkAllInvariants(t, s)
+	checkNoLeaks(t, s)
 }
 
 // TestInterferenceInvalid: the delegator's capability is revoked while a
@@ -198,6 +200,7 @@ func runInterferenceInvalid(t *testing.T, b IKCBatching) {
 		}
 	}
 	checkAllInvariants(t, s)
+	checkNoLeaks(t, s)
 }
 
 // TestInterferenceIncomplete: two revocations of overlapping subtrees
@@ -268,6 +271,7 @@ func TestInterferenceIncomplete(t *testing.T) {
 		t.Fatalf("%d mem caps survived", n)
 	}
 	checkAllInvariants(t, s)
+	checkNoLeaks(t, s)
 }
 
 // TestInterferencePointless: exchanges of capabilities that are in
@@ -331,6 +335,7 @@ func TestInterferencePointless(t *testing.T) {
 		t.Fatalf("%d mem caps survived the revoke", n)
 	}
 	checkAllInvariants(t, s)
+	checkNoLeaks(t, s)
 }
 
 // memCapsEverywhere counts memory capabilities across all kernels.
@@ -390,4 +395,5 @@ func TestExitRevokesEverything(t *testing.T) {
 		t.Fatalf("owner still holds %d caps", got)
 	}
 	checkAllInvariants(t, s)
+	checkNoLeaks(t, s)
 }

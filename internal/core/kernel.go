@@ -38,6 +38,12 @@ type KernelStats struct {
 	DeadPeers       uint64       // peers this kernel declared dead
 	Recovered       uint64       // transmissions that completed after a retry
 	RecoveryCycles  sim.Duration // summed first-send→completion time of recovered transmissions
+	RevokedInFlight uint64       // spanning exchanges killed by a revoke racing their reply
+
+	// Crash-recovery counters (rejoin.go); all zero without a RecoverAt.
+	Rejoins          uint64       // rejoin handshakes completed as the recovering kernel
+	RejoinCycles     sim.Duration // summed recovery-start→handshake-completion time
+	StaleIncarnation uint64       // envelopes rejected: sent by or to a dead incarnation
 }
 
 func (a *KernelStats) add(b KernelStats) {
@@ -65,6 +71,10 @@ func (a *KernelStats) add(b KernelStats) {
 	a.DeadPeers += b.DeadPeers
 	a.Recovered += b.Recovered
 	a.RecoveryCycles += b.RecoveryCycles
+	a.RevokedInFlight += b.RevokedInFlight
+	a.Rejoins += b.Rejoins
+	a.RejoinCycles += b.RejoinCycles
+	a.StaleIncarnation += b.StaleIncarnation
 }
 
 // CapOps returns the number of capability-modifying and session operations,
@@ -109,6 +119,16 @@ type Kernel struct {
 	// dedup, dead-peer verdicts); nil in the baseline lossless mode.
 	rt *relState
 
+	// incarnation numbers this kernel's lifetimes, starting at 1 and
+	// bumped at every scripted recovery (rejoin.go). It stamps outgoing
+	// IKC envelopes so peers can tell a live request from a dead
+	// incarnation's retransmit.
+	incarnation uint32
+
+	// orphanFixes records cross-kernel tree-maintenance operations that
+	// failed with ErrPeerDead, replayed when the peer rejoins (rejoin.go).
+	orphanFixes []orphanFix
+
 	// inflight limits unprocessed requests per destination kernel,
 	// indexed densely by kernel id (entries created lazily).
 	inflight []*sim.Semaphore
@@ -118,6 +138,14 @@ type Kernel struct {
 	// pendingDelegations holds capabilities created by the delegate
 	// two-way handshake that await the originator's acknowledgement.
 	pendingDelegations ddl.KeyMap[*cap.Capability]
+
+	// inflightObtains tracks spanning obtains between the moment their
+	// child identity is agreed (the request leaves) and the moment the
+	// reply is consumed, keyed by exchangeID. A revoke reaching this kernel
+	// for a key it has never inserted tombstones a matching entry so a
+	// late or replayed reply cannot resurrect the revoked child
+	// (exchange.go, revoke.go).
+	inflightObtains map[uint64]*inflightObtain
 
 	// revocations maps every marked capability to the state of the
 	// revocation that marked it (paper Algorithm 1).
@@ -153,18 +181,20 @@ type svcLoc struct {
 
 func newKernel(s *System, id int) *Kernel {
 	k := &Kernel{
-		id:       id,
-		pe:       id,
-		sys:      s,
-		dom:      s.domainOfKernel(id),
-		dtu:      s.Fab.DTU(id),
-		store:    cap.NewStore(),
-		gen:      ddl.NewGenerator(),
-		member:   s.member.Clone(),
-		cpu:      sim.NewSemaphore(s.Eng, 1),
-		link:     sim.NewSemaphore(s.Eng, 1),
-		inflight: make([]*sim.Semaphore, s.cfg.Kernels),
-		pending:  make(map[uint64]*sim.Future[*ikcReply]),
+		id:              id,
+		pe:              id,
+		incarnation:     1,
+		sys:             s,
+		dom:             s.domainOfKernel(id),
+		dtu:             s.Fab.DTU(id),
+		store:           cap.NewStore(),
+		gen:             ddl.NewGenerator(),
+		member:          s.member.Clone(),
+		cpu:             sim.NewSemaphore(s.Eng, 1),
+		link:            sim.NewSemaphore(s.Eng, 1),
+		inflight:        make([]*sim.Semaphore, s.cfg.Kernels),
+		pending:         make(map[uint64]*sim.Future[*ikcReply]),
+		inflightObtains: make(map[uint64]*inflightObtain),
 	}
 	if s.rounds {
 		k.svcOwn = make(map[string]*serviceEntry)
@@ -221,6 +251,10 @@ func (k *Kernel) Group() []int { return k.group }
 
 // Stats returns a snapshot of the kernel's counters.
 func (k *Kernel) Stats() KernelStats { return k.stats }
+
+// Incarnation returns the kernel's current incarnation number: 1 unless it
+// crashed and recovered (rejoin.go bumps it at every scripted recovery).
+func (k *Kernel) Incarnation() uint32 { return k.incarnation }
 
 // Store exposes the mapping database for tests and diagnostics.
 func (k *Kernel) Store() *cap.Store { return k.store }

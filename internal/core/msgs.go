@@ -163,6 +163,11 @@ const (
 	// ikcDRAMRefill asks kernel 0 to carve a span out of the central DRAM
 	// pool when a kernel's pre-carved quota runs dry (rounds mode).
 	ikcDRAMRefill
+	// ikcRejoin is the recovery handshake: a kernel that crashed and came
+	// back broadcasts it (with its bumped incarnation number) so every peer
+	// clears its dead verdict and discards state keyed by the dead
+	// incarnation (rejoin.go).
+	ikcRejoin
 )
 
 func (k ikcKind) String() string {
@@ -170,6 +175,7 @@ func (k ikcKind) String() string {
 		"obtain", "delegate", "delegate-ack", "revoke", "revoke-reply",
 		"unlink-child", "session", "obtain-sess", "delegate-sess",
 		"revoke-batch", "svc-lookup", "svc-register", "dram-refill",
+		"rejoin",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -181,6 +187,11 @@ func (k ikcKind) String() string {
 type ikcRequest struct {
 	Seq  uint64
 	From int // sender kernel id
+	// Inc is the sender's incarnation number at stamp time. A receiver
+	// running the reliable layer rejects requests from an incarnation older
+	// than the one it has observed — a stale retransmit from before the
+	// sender's crash — and implicitly admits a newer one (rejoin.go).
+	Inc  uint32
 	Kind ikcKind
 
 	Key    ddl.Key      // primary capability (owner side)
@@ -238,7 +249,11 @@ func (b *ikcBatch) items() []dtu.VecItem {
 type ikcReply struct {
 	Seq  uint64
 	From int
-	Err  Errno
+	// Inc echoes the request's incarnation stamp, so a requester that
+	// crashed and recovered in between rejects the late reply — it answers
+	// a question asked by the dead incarnation (rejoin.go).
+	Inc uint32
+	Err Errno
 
 	Key    ddl.Key
 	Object cap.Object

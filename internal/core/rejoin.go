@@ -1,0 +1,370 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cap"
+	"repro/internal/ddl"
+	"repro/internal/sim"
+)
+
+// Kernel crash recovery (rejoin protocol). A scripted kernel crash
+// (fault.KernelFault.CrashAt) blackholes every inter-kernel link of the
+// kernel; with a RecoverAt the links come back and the kernel resumes as a
+// new *incarnation*. The crash is link-level — the kernel PE itself kept
+// running its group's syscalls, spuriously declaring peers dead and
+// aborting cross-kernel operations with ErrPeerDead — so rejoining is not
+// a reboot but a reconciliation:
+//
+//   1. At RecoverAt (beginRejoin, event context) the kernel bumps its
+//      incarnation number, aborts every outstanding transmission and every
+//      request still parked in an aggregation queue (they were asked by
+//      the dead incarnation; no answer can ever resolve them), clears its
+//      own dead-peer verdicts and resets the delegation-handshake state
+//      that can no longer be acknowledged.
+//   2. A kernel thread then broadcasts an ikcRejoin handshake. The bumped
+//      incarnation stamp on that request (and on any later request) is
+//      what re-admits the kernel at each peer: admitRequest observes a
+//      newer incarnation and runs admitIncarnation — clear the dead
+//      verdict, discard retransmit/dedup/handshake state keyed by the dead
+//      incarnation, invalidate cached service locations, and schedule the
+//      peer's own reconciliation toward the rejoined kernel.
+//   3. After the handshake the recovering kernel re-registers its services
+//      with their directory homes (rounds mode), replays recorded orphan
+//      fixups and conservatively revokes every delegation chain still
+//      rooted in the dead incarnation (reconcileChains), so no capability
+//      or DDL entry outlives the incarnation that created it.
+//
+// Stale traffic from the dead incarnation — retransmits of its requests,
+// late replies to questions it asked — is rejected by incarnation
+// mismatch (admitRequest / recvReply) and counted in
+// KernelStats.StaleIncarnation. Rejecting stale requests instead of
+// tracking them is also what keeps the receiver dedup state bounded: a
+// peer can discard everything keyed by a dead incarnation wholesale
+// because the recovering kernel aborted all its transmissions at rejoin
+// and will never retransmit them.
+
+// orphanFix records one cross-kernel tree-maintenance operation that
+// failed with ErrPeerDead: a subtree revocation whose remote child could
+// not be reached (the local parent is already gone, so the link cannot be
+// walked again) or an orphan-unlink notification that never arrived.
+// Fixes are replayed when the dead peer rejoins (replayOrphanFixes); ones
+// aimed at a permanently dead kernel stay recorded forever, which is
+// harmless — the state they would fix died with the peer.
+type orphanFix struct {
+	dst   int
+	kind  ikcKind // ikcRevoke or ikcUnlinkChild
+	key   ddl.Key // revocation target, or the parent of an unlink
+	child ddl.Key // unlinked child (ikcUnlinkChild only)
+}
+
+// recordOrphanFix is the OnComplete hook of the fire-and-forget tree
+// maintenance sends: if the operation failed because the peer is dead,
+// remember it for replay at the peer's rejoin. Runs in event context on
+// this kernel's domain (single writer).
+func (k *Kernel) recordOrphanFix(f orphanFix, rep *ikcReply) {
+	if rep.Err == ErrPeerDead {
+		k.orphanFixes = append(k.orphanFixes, f)
+	}
+}
+
+// notifyUnlink sends an unlink-child notification, recording an orphan fix
+// if the owner's kernel is unreachable so the dangling link is removed
+// when it rejoins. In baseline lossless mode the notification cannot fail
+// and nothing is tracked.
+func (k *Kernel) notifyUnlink(p *sim.Proc, dst int, parent, child ddl.Key) {
+	fut := k.ikNotify(p, dst, &ikcRequest{Kind: ikcUnlinkChild, Key: parent, Child: child})
+	if fut == nil {
+		return
+	}
+	fix := orphanFix{dst: dst, kind: ikcUnlinkChild, key: parent, child: child}
+	fut.OnComplete(func(rep *ikcReply) { k.recordOrphanFix(fix, rep) })
+}
+
+// admitRequest is the receiver-side incarnation gate, run before the
+// duplicate filter on every dispatched request. A request stamped with an
+// incarnation older than the highest observed for its sender is a stale
+// retransmit from before the sender's crash: it is dropped silently (the
+// dead incarnation's futures were aborted at its rejoin, so nobody waits
+// for an answer). A newer stamp implicitly admits the rejoined sender —
+// the explicit ikcRejoin handshake is normally the first such request, but
+// any request can carry the news, since the handshake itself may be
+// dropped or reordered by the faulty fabric.
+func (k *Kernel) admitRequest(req *ikcRequest) bool {
+	if k.rt == nil || req.Inc == 0 {
+		return true
+	}
+	observed := k.rt.incOf(req.From)
+	switch {
+	case req.Inc < observed:
+		k.stats.StaleIncarnation++
+		return false
+	case req.Inc > observed:
+		k.admitIncarnation(req.From, req.Inc)
+	}
+	return true
+}
+
+// admitIncarnation re-admits a peer that crashed and came back: record the
+// new incarnation and discard every piece of state keyed by the dead one.
+// Runs in thread context (CPU held) from admitRequest; everything here is
+// either a local map operation or a job submission, never a preemption
+// point.
+func (k *Kernel) admitIncarnation(from int, inc uint32) {
+	rt := k.rt
+	rt.peerInc[from] = inc
+	delete(rt.dead, from)
+	// The dedup and reply-cache state for the peer is keyed by the dead
+	// incarnation's sequence numbers: the recovering kernel aborted all its
+	// outstanding transmissions at rejoin, so none of them will ever be
+	// retransmitted, and stragglers already on the wire are rejected by the
+	// incarnation gate before they reach the filter.
+	delete(rt.dedup, from)
+	// Outstanding transmissions *to* the peer were addressed to the dead
+	// incarnation — it lost its receive state, so they could only be
+	// rejected as stale. Abort them in first-send order (the deterministic
+	// order byDst maintains), completing their futures with ErrPeerDead.
+	xms := rt.byDst[from]
+	delete(rt.byDst, from)
+	for _, xm := range xms {
+		if !xm.done {
+			rt.abort(xm)
+		}
+	}
+	// Delegation handshakes whose originator is the dead incarnation can
+	// never be acknowledged: their entries would leak forever.
+	k.dropPeerDelegations(from)
+	// Cached service locations owned by the peer: drop them so the next
+	// resolution asks the name's home again (which re-learned the location
+	// from the peer's re-registration). Deletion-only, order-independent.
+	for name, loc := range k.svcCache {
+		if loc.kernel == from {
+			delete(k.svcCache, name)
+		}
+	}
+	// This kernel's own reconciliation toward the rejoined peer — replaying
+	// recorded orphan fixes and revoking the chains still linking into the
+	// dead incarnation — blocks on inter-kernel calls, so it runs as a pool
+	// job rather than inline under the admission gate.
+	k.ikcPool.submit(func(p *sim.Proc) {
+		k.acquireCPU(p)
+		k.replayOrphanFixes(p, from)
+		k.reconcileChains(p, from)
+		k.releaseCPU()
+	})
+}
+
+// dropPeerDelegations discards pending delegation-handshake entries whose
+// parent capability is owned by the given kernel: the originator aborted
+// the handshake with ErrPeerDead when this kernel was unreachable (or died
+// itself), so the acknowledgement that would resolve each entry is never
+// coming.
+func (k *Kernel) dropPeerDelegations(from int) {
+	var doomed []ddl.Key
+	k.pendingDelegations.Range(func(key ddl.Key, c *cap.Capability) bool {
+		if k.member.KernelOfKey(c.Parent) == from {
+			doomed = append(doomed, key)
+		}
+		return true
+	})
+	for _, key := range doomed {
+		k.pendingDelegations.Delete(key)
+	}
+}
+
+// handleRejoin acknowledges a rejoin handshake. All the actual
+// re-admission work already ran in the incarnation gate (admitRequest saw
+// the bumped stamp and called admitIncarnation before this handler was
+// dispatched); the explicit handshake exists so the recovering kernel
+// *knows* every peer routes to it again before it reconciles its own
+// state.
+func (k *Kernel) handleRejoin(p *sim.Proc, req *ikcRequest) *ikcReply {
+	k.exec(p, k.sys.Cost.DDLDecode)
+	return &ikcReply{}
+}
+
+// beginRejoin runs at RecoverAt (event context, scheduled by NewSystem for
+// every crash+recover fault): the link-level blackhole just ended and the
+// kernel resumes as a new incarnation.
+func (k *Kernel) beginRejoin() {
+	start := k.dom.Now()
+	k.incarnation++
+	rt := k.rt
+	// Abort every outstanding transmission, in sorted destination order
+	// (within one destination, byDst keeps first-send order): the futures
+	// belong to the dead incarnation, and the peers will reject any
+	// retransmit by incarnation mismatch anyway.
+	dsts := make([]int, 0, len(rt.byDst))
+	for dst := range rt.byDst {
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
+	for _, dst := range dsts {
+		xms := rt.byDst[dst]
+		delete(rt.byDst, dst)
+		for _, xm := range xms {
+			if !xm.done {
+				rt.abort(xm)
+			}
+		}
+	}
+	// This kernel's own verdicts on its peers were formed by a dead link,
+	// not dead peers: forget them wholesale and let fresh traffic judge.
+	clear(rt.dead)
+	// Requests still parked in aggregation queues carry the dead
+	// incarnation's stamp; flushing them later could only produce stale
+	// rejections (and re-mark the peers dead). Fail them now.
+	k.xport.dropQueued()
+	// Delegation handshakes prepared for remote originators: every
+	// originator aborted (this kernel was unreachable), so no entry can be
+	// acknowledged. The epoch guards in the delegate handlers keep threads
+	// of the dead incarnation, parked across RecoverAt, from resurrecting
+	// entries after this reset.
+	k.pendingDelegations = ddl.KeyMap[*cap.Capability]{}
+
+	k.ikcPool.submit(func(p *sim.Proc) {
+		k.acquireCPU(p)
+		// Handshake with every peer, in kernel order. The bumped stamp on
+		// the request re-admits this kernel at the peer (admitRequest); the
+		// reply tells this kernel the peer routes to it again.
+		for peer := range k.sys.kernels {
+			if peer == k.id {
+				continue
+			}
+			k.exec(p, k.sys.Cost.IKCMarshal)
+			k.ikCall(p, peer, &ikcRequest{Kind: ikcRejoin})
+		}
+		if k.sys.rounds {
+			k.republishServices(p)
+		}
+		k.replayOrphanFixes(p, -1)
+		k.reconcileChains(p, -1)
+		k.stats.Rejoins++
+		k.stats.RejoinCycles += k.dom.Now() - start
+		k.releaseCPU()
+	})
+}
+
+// republishServices re-registers this kernel's own services with their
+// directory homes (rounds mode; the merged directory is shared state that
+// never saw the crash). Locations never move, so a home whose entry
+// survived answers ErrExists — which is success here.
+func (k *Kernel) republishServices(p *sim.Proc) {
+	names := make([]string, 0, len(k.svcOwn))
+	for name := range k.svcOwn {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		// ErrExists: the home's entry is intact. ErrPeerDead: the home is
+		// unreachable, and clients will get ErrNoService until it rejoins —
+		// the same degraded answer they got during the crash window.
+		_ = k.publishService(p, name, k.svcOwn[name].key)
+	}
+}
+
+// replayOrphanFixes re-sends the recorded tree-maintenance operations
+// aimed at kernel dst (all kernels when dst is -1). Fixes whose target is
+// still unreachable — or that fail with ErrPeerDead again mid-replay —
+// stay recorded for the next rejoin.
+func (k *Kernel) replayOrphanFixes(p *sim.Proc, dst int) {
+	if len(k.orphanFixes) == 0 {
+		return
+	}
+	fixes := k.orphanFixes
+	k.orphanFixes = nil
+	var keep []orphanFix
+	for _, f := range fixes {
+		if (dst >= 0 && f.dst != dst) || k.peerDead(f.dst) {
+			keep = append(keep, f)
+			continue
+		}
+		switch f.kind {
+		case ikcRevoke:
+			// Idempotent at the owner: a key already gone just confirms.
+			k.exec(p, k.sys.Cost.IKCMarshal)
+			rep := k.ikCall(p, f.dst, &ikcRequest{Kind: ikcRevoke, Key: f.key})
+			if rep.Err == ErrPeerDead {
+				keep = append(keep, f)
+			}
+		case ikcUnlinkChild:
+			// notifyUnlink re-records the fix itself if the peer is dead
+			// again by the time the transmission resolves.
+			k.notifyUnlink(p, f.dst, f.key, f.child)
+		}
+	}
+	// Completions during the replay's preemption points may have recorded
+	// new fixes; keep them after the survivors.
+	k.orphanFixes = append(keep, k.orphanFixes...)
+}
+
+// reconcileChains conservatively severs the delegation chains that link
+// this kernel's capabilities to capabilities owned by kernel `into` (every
+// remote kernel when into is -1): each remote child subtree is revoked at
+// its owner and the local link removed. The recovering kernel runs it over
+// all peers — every cross-kernel child it still links was delegated by a
+// dead incarnation, and nothing may outlive the incarnation that created
+// it. Peers run it toward the rejoined kernel (admitIncarnation) for the
+// mirror-image reason: children they link into it belong to its dead
+// incarnation, including phantom links whose child was never created
+// because the crash swallowed the reply (the revoke is idempotent at the
+// owner, so a phantom just confirms).
+func (k *Kernel) reconcileChains(p *sim.Proc, into int) {
+	// Store.Keys is a deterministic function of the store's operation
+	// history, so the walk order is reproducible at any worker count.
+	for _, key := range k.store.Keys() {
+		c := k.store.Lookup(key)
+		if c == nil || c.Marked || c.NumChildren() == 0 {
+			continue
+		}
+		var remote []ddl.Key
+		c.ForEachChild(func(ck ddl.Key) {
+			owner := k.member.KernelOfKey(ck)
+			if owner != k.id && (into < 0 || owner == into) {
+				remote = append(remote, ck)
+			}
+		})
+		for _, ck := range remote {
+			k.exec(p, k.sys.Cost.DDLDecode+k.sys.Cost.IKCMarshal)
+			owner := k.member.KernelOfKey(ck)
+			rep := k.ikCall(p, owner, &ikcRequest{Kind: ikcRevoke, Key: ck})
+			if rep.Err == ErrPeerDead {
+				k.orphanFixes = append(k.orphanFixes, orphanFix{dst: owner, kind: ikcRevoke, key: ck})
+			}
+			// The call was a preemption point and the store compacts removed
+			// slots: re-resolve the parent before unlinking.
+			if cur := k.store.Lookup(key); cur != nil && !cur.Marked {
+				cur.RemoveChild(ck)
+				k.exec(p, k.sys.Cost.CapLink)
+			}
+		}
+	}
+}
+
+// dropQueued fails every request parked in an aggregation queue, in
+// sorted (destination, kind) order. Called from beginRejoin: the queued
+// requests are stamped with the dead incarnation, so transmitting them
+// after recovery could only earn stale rejections.
+func (t *transport) dropQueued() {
+	keys := make([]qkey, 0, len(t.queues))
+	for key, q := range t.queues {
+		if len(q.reqs) > 0 {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dst != keys[j].dst {
+			return keys[i].dst < keys[j].dst
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	for _, key := range keys {
+		q := t.queues[key]
+		reqs := q.reqs
+		q.reqs = nil
+		q.epoch++ // a pending window timer for the old generation no-ops
+		for _, req := range reqs {
+			t.k.rt.failFast(req.Seq, key.dst)
+		}
+	}
+}

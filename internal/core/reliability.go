@@ -124,19 +124,34 @@ type relState struct {
 	// in a deterministic order).
 	byDst map[int][]*xmitState
 	dedup map[int]*peerDedup
-	// dead is this kernel's own verdict on its peers; sticky.
+	// dead is this kernel's own verdict on its peers; sticky until the peer
+	// rejoins with a newer incarnation (admitIncarnation).
 	dead map[int]bool
+	// peerInc is the highest incarnation number observed per peer; a
+	// missing entry means the boot incarnation 1. Requests stamped with an
+	// older incarnation are stale retransmits from before the peer's crash
+	// and are rejected; a newer stamp admits the rejoined peer.
+	peerInc map[int]uint32
 }
 
 func newRelState(k *Kernel, cfg Reliability) *relState {
 	return &relState{
-		k:     k,
-		cfg:   cfg,
-		bySeq: make(map[uint64]*xmitState),
-		byDst: make(map[int][]*xmitState),
-		dedup: make(map[int]*peerDedup),
-		dead:  make(map[int]bool),
+		k:       k,
+		cfg:     cfg,
+		bySeq:   make(map[uint64]*xmitState),
+		byDst:   make(map[int][]*xmitState),
+		dedup:   make(map[int]*peerDedup),
+		dead:    make(map[int]bool),
+		peerInc: make(map[int]uint32),
 	}
+}
+
+// incOf returns the highest incarnation observed for a peer.
+func (rt *relState) incOf(from int) uint32 {
+	if inc, ok := rt.peerInc[from]; ok {
+		return inc
+	}
+	return 1
 }
 
 // reliable reports whether this kernel runs the reliable IKC layer.

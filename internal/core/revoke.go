@@ -79,7 +79,7 @@ func (k *Kernel) revokeSubtree(p *sim.Proc, c *cap.Capability) {
 				k.exec(p, k.sys.Cost.CapLink)
 			}
 		} else {
-			k.ikNotify(p, owner, &ikcRequest{Kind: ikcUnlinkChild, Key: parentKey, Child: c.Key})
+			k.notifyUnlink(p, owner, parentKey, c.Key)
 		}
 	}
 	if rs.outstanding == 0 {
@@ -142,8 +142,12 @@ func (k *Kernel) revokeChildren(p *sim.Proc, c *cap.Capability, rs *revState) {
 // trigger the sweep (Algorithm 1, receive_revoke_reply).
 func (k *Kernel) sendRevokeRequest(p *sim.Proc, dst int, key ddl.Key, rs *revState) {
 	fut := k.ikSend(p, dst, &ikcRequest{Kind: ikcRevoke, Key: key})
-	fut.OnComplete(func(*ikcReply) {
-		// Event context: hand completion to a kernel thread.
+	fut.OnComplete(func(rep *ikcReply) {
+		// Event context: hand completion to a kernel thread. An unreachable
+		// owner is recorded for replay at its rejoin — the local subtree
+		// (including the link to this child) is deleted regardless, so the
+		// recorded fix is the only remaining route to the remote state.
+		k.recordOrphanFix(orphanFix{dst: dst, kind: ikcRevoke, key: key}, rep)
 		k.compSubmit(rs)
 	})
 }
@@ -237,6 +241,7 @@ func (k *Kernel) handleRevokeReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 	c := k.store.Lookup(req.Key)
 	if c == nil {
 		// Already revoked; confirm (idempotent).
+		k.revokeUnseen(req.Key)
 		return &ikcReply{}
 	}
 	if c.Marked {
@@ -279,6 +284,7 @@ func (k *Kernel) handleRevokeBatchReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 		k.exec(p, k.sys.Cost.CapLookup+k.sys.Cost.DDLDecode)
 		c := k.store.Lookup(key)
 		if c == nil {
+			k.revokeUnseen(key)
 			continue // already revoked
 		}
 		if c.Marked {
@@ -314,6 +320,26 @@ func (k *Kernel) handleRevokeBatchReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 		return &ikcReply{}
 	}
 	return nil
+}
+
+// revokeUnseen runs when a revoke request targets a key this kernel has
+// never inserted. Usually the subtree was simply revoked already and the
+// confirmation is idempotent — but the key may also name a spanning
+// exchange whose reply is still in flight: the owner linked the child
+// before the reply reached us, and once we confirm "already revoked" it
+// deletes the parent. The late reply must then discard the child, so
+// tombstone a matching in-flight obtain; a matching pending delegation is
+// dropped outright — its acknowledgement resolves to ErrNoSuchCap at the
+// delegator, which unlinks the child there (exchange.go).
+func (k *Kernel) revokeUnseen(key ddl.Key) {
+	if po, ok := k.inflightObtains[exchangeID(key.PE(), key.VPE(), key.Object())]; ok && !po.revoked {
+		po.revoked = true
+		k.stats.RevokedInFlight++
+	}
+	if _, ok := k.pendingDelegations.Get(key); ok {
+		k.pendingDelegations.Delete(key)
+		k.stats.RevokedInFlight++
+	}
 }
 
 // invalidateEPs resets user DTU endpoints configured from a revoked

@@ -412,7 +412,7 @@ func (k *Kernel) sysObtainSess(p *sim.Proc, req *sysRequest) *sysReply {
 	childKey := ddl.NewKey(v.PE, v.ID, rep.Object.ObjType(), objID)
 	if v.exited {
 		k.stats.Orphans++
-		k.ikNotify(p, svcKernel, &ikcRequest{Kind: ikcUnlinkChild, Key: rep.Key, Child: childKey})
+		k.notifyUnlink(p, svcKernel, rep.Key, childKey)
 		return &sysReply{Err: ErrVPEGone}
 	}
 	child := &cap.Capability{
@@ -568,9 +568,16 @@ func (k *Kernel) handleDelegateSessReq(p *sim.Proc, req *ikcRequest) *ikcReply {
 	if sv == nil || sv.exited || sv.svc == nil {
 		return &ikcReply{Err: ErrNoService}
 	}
+	inc := k.incarnation
 	res := k.queryService(p, sv, svcEvent{kind: SvcDelegate, ident: req.Ident, args: req.Args, obj: req.Object})
 	if res.Errno != OK || !res.Accept {
 		return &ikcReply{Err: ErrDenied}
+	}
+	if k.incarnation != inc {
+		// Parked across a crash recovery: the rejoin reset wiped the
+		// pending-delegation table and the originator aborted, so the entry
+		// below could never be acknowledged (rejoin.go).
+		return &ikcReply{Err: ErrPeerDead}
 	}
 	childKey := k.mintKey(sv.PE, sv.ID, req.Object.ObjType())
 	child := &cap.Capability{

@@ -82,9 +82,10 @@ type Config struct {
 	//     ride IKC), and the engine advances domains concurrently on
 	//     SimWorkers workers. Metrics drift from the merged baseline —
 	//     deterministically, identically at any worker count — and a
-	//     single multi-kernel run scales with cores. Incompatible with
-	//     Faults and NoC contention, whose state is shared across all
-	//     senders.
+	//     single multi-kernel run scales with cores. Incompatible with NoC
+	//     contention, whose link state is shared across all senders; fault
+	//     injection works (the injector shards its state by source PE), but
+	//     the plan must not crash kernel 0, the DRAM-refill home (Validate).
 	SimMode string
 	// RelaxLimits lifts the architectural sizing limits (MaxKernels,
 	// MaxPEsPerKernel) for scalability studies: the machine may then be
@@ -145,14 +146,28 @@ func (c Config) Validate() error {
 	if total := c.Kernels + c.UserPEs + c.MemPEs; total > ddl.MaxPEs {
 		return fmt.Errorf("core: %d total PEs exceed the DDL key space of %d", total, ddl.MaxPEs)
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
 	switch c.SimMode {
 	case "", SimModeMerged:
 	case SimModeRounds:
-		if c.Faults != nil {
-			return errors.New("core: SimMode rounds is incompatible with fault injection (shared injector state); use merged mode")
-		}
 		if c.Noc != nil && c.Noc.Contention {
 			return errors.New("core: SimMode rounds is incompatible with NoC contention (shared link state); use merged mode")
+		}
+		if c.Faults != nil {
+			// The injector itself is rounds-safe (its mutable state is
+			// sharded by source PE), but kernel 0 is the rounds-mode
+			// DRAM-refill home and central-pool owner: crashing it blackholes
+			// every refill and wedges allocation across the machine. Reject
+			// the scenario instead of hanging.
+			for _, kf := range c.Faults.Kernels {
+				if kf.Kernel == 0 && kf.CrashAt > 0 {
+					return errors.New("core: SimMode rounds cannot crash kernel 0 (the DRAM-refill home); crash another kernel or use merged mode")
+				}
+			}
 		}
 	default:
 		return fmt.Errorf("core: unknown SimMode %q (valid: %q, %q)", c.SimMode, SimModeMerged, SimModeRounds)
@@ -340,6 +355,18 @@ func NewSystem(cfg Config) (*System, error) {
 	// Boot the kernels; each gets its own membership replica.
 	for k := 0; k < cfg.Kernels; k++ {
 		s.kernels = append(s.kernels, newKernel(s, k))
+	}
+	// Schedule crash recoveries: at RecoverAt the kernel's links
+	// un-blackhole (fault.Injector window) and the kernel itself starts the
+	// rejoin handshake as a new incarnation (rejoin.go). Validate has
+	// already enforced RecoverAt > CrashAt.
+	if cfg.Faults != nil {
+		for _, kf := range cfg.Faults.Kernels {
+			if kf.CrashAt > 0 && kf.RecoverAt > 0 && kf.Kernel >= 0 && kf.Kernel < cfg.Kernels {
+				kk := s.kernels[kf.Kernel]
+				kk.dom.At(kf.RecoverAt, kk.beginRejoin)
+			}
+		}
 	}
 	if s.rounds {
 		s.carveDRAMQuota()

@@ -328,6 +328,7 @@ func (t *transport) enqueue(p *sim.Proc, dst int, req *ikcRequest) *sim.Future[*
 	k.exec(p, k.sys.Cost.IKCCompose)
 	req.Seq = k.nextSeq()
 	req.From = k.id
+	req.Inc = k.incarnation
 	fut := sim.NewFuture[*ikcReply](k.sys.Eng)
 	k.pending[req.Seq] = fut
 	if k.peerDead(dst) {
@@ -555,7 +556,15 @@ func (t *transport) flushRevokes(p *sim.Proc, rs *revState) {
 	k := t.k
 	for _, dst := range order {
 		rs.outstanding++
-		fut := k.ikSend(p, dst, &ikcRequest{Kind: ikcRevokeBatch, Keys: batches[dst]})
-		fut.OnComplete(func(*ikcReply) { k.compSubmit(rs) })
+		keys := batches[dst]
+		fut := k.ikSend(p, dst, &ikcRequest{Kind: ikcRevokeBatch, Keys: keys})
+		fut.OnComplete(func(rep *ikcReply) {
+			// An unreachable owner leaves every key of the batch unrevoked
+			// remotely; record each for replay at the owner's rejoin.
+			for _, key := range keys {
+				k.recordOrphanFix(orphanFix{dst: dst, kind: ikcRevoke, key: key}, rep)
+			}
+			k.compSubmit(rs)
+		})
 	}
 }

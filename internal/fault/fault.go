@@ -5,9 +5,10 @@
 // from a splittable counter-based PRNG keyed by (seed, src, dst, per-pair
 // message counter). Because the NoC calls Inspect once per message in a
 // deterministic order (the merged event loop preserves event order at any
-// -simworkers setting, and -parallel/-shards parallelize across
-// independent simulations), a fixed seed yields a byte-identical faulty
-// run regardless of host parallelism.
+// -simworkers setting; isolated rounds order each sender's stream on its
+// own domain and the injector shards all mutable state by source PE; and
+// -parallel/-shards parallelize across independent simulations), a fixed
+// seed yields a byte-identical faulty run regardless of host parallelism.
 //
 // Faults apply only to kernel↔kernel links (both endpoints below the
 // kernel-PE bound): the inter-kernel protocol is the layer hardened
@@ -18,6 +19,8 @@
 package fault
 
 import (
+	"fmt"
+
 	"repro/internal/noc"
 	"repro/internal/sim"
 )
@@ -36,7 +39,10 @@ type LinkRule struct {
 // KernelFault schedules time-driven faults of one kernel. A stall window
 // delays every delivery into the kernel until the window closes (the
 // kernel stops draining its DTU); a crash blackholes all its inter-kernel
-// traffic — both directions — from CrashAt on, permanently.
+// traffic — both directions — from CrashAt on. With RecoverAt zero the
+// crash is permanent; a nonzero RecoverAt ends the blackhole window, after
+// which the kernel runs as a new incarnation (core schedules the rejoin
+// handshake at RecoverAt, see core's rejoin protocol).
 type KernelFault struct {
 	Kernel  int // kernel PE number
 	StallAt sim.Time
@@ -44,6 +50,9 @@ type KernelFault struct {
 	StallFor sim.Duration
 	// CrashAt is the crash time; 0 means the kernel never crashes.
 	CrashAt sim.Time
+	// RecoverAt, when nonzero, is the cycle at which the crashed kernel's
+	// links un-blackhole. Must be strictly after CrashAt (Validate).
+	RecoverAt sim.Time
 }
 
 // Plan is a complete fault scenario. The zero rates with no kernel faults
@@ -62,8 +71,28 @@ type Plan struct {
 	Jitter sim.Duration
 	// Links overrides the defaults per directed link.
 	Links []LinkRule
-	// Kernels schedules stall windows and crashes.
+	// Kernels schedules stall windows, crashes and recoveries.
 	Kernels []KernelFault
+}
+
+// Validate checks the plan's static well-formedness. Today that is the
+// crash/recovery window ordering: a recovery that does not strictly follow
+// its crash describes no window at all, and silently treating it as
+// "never crashed" (or "never recovered") would make a scenario pass while
+// testing nothing.
+func (p *Plan) Validate() error {
+	for _, kf := range p.Kernels {
+		if kf.RecoverAt == 0 {
+			continue
+		}
+		if kf.CrashAt == 0 {
+			return fmt.Errorf("fault: kernel %d has RecoverAt %d without a CrashAt", kf.Kernel, kf.RecoverAt)
+		}
+		if kf.RecoverAt <= kf.CrashAt {
+			return fmt.Errorf("fault: kernel %d RecoverAt %d must be after CrashAt %d", kf.Kernel, kf.RecoverAt, kf.CrashAt)
+		}
+	}
+	return nil
 }
 
 // Stats counts what the injector did. All counters are per-Injector (=
@@ -101,19 +130,27 @@ type effRates struct {
 	jitter    sim.Duration
 }
 
-// Injector implements noc.Injector for a Plan. It is not safe for
-// concurrent use; the NoC calls it from the (single-threaded or merged)
-// event loop only.
+// Injector implements noc.Injector for a Plan. All mutable state — the
+// per-pair PRNG counters, the resolved-rate cache and the stats — is
+// sharded by source PE: the NoC calls Inspect at send time on the sending
+// node's path, so under isolated rounds (one event domain per kernel) each
+// shard has exactly one writer and the injector is safe without locks. The
+// sharding changes nothing observable: counters advance per (src, dst)
+// pair exactly as before, so merged-mode fault sequences are untouched.
 type Injector struct {
 	plan      Plan
 	kernelPEs int
-	rates     map[pair]effRates
-	counters  map[pair]uint64
-	kfaults   map[int][]KernelFault
-	stats     Stats
+	perSrc    []srcState
+	kfaults   map[int][]KernelFault // read-only after NewInjector
 }
 
-type pair struct{ src, dst int }
+// srcState is one source PE's shard of the injector's mutable state, maps
+// keyed by destination PE.
+type srcState struct {
+	rates    map[int]effRates
+	counters map[int]uint64
+	stats    Stats
+}
 
 // NewInjector compiles a plan against a machine whose kernel PEs are
 // [0, kernelPEs). Link rules naming kernels outside that range simply
@@ -122,9 +159,12 @@ func NewInjector(plan Plan, kernelPEs int) *Injector {
 	in := &Injector{
 		plan:      plan,
 		kernelPEs: kernelPEs,
-		rates:     make(map[pair]effRates),
-		counters:  make(map[pair]uint64),
+		perSrc:    make([]srcState, kernelPEs),
 		kfaults:   make(map[int][]KernelFault),
+	}
+	for i := range in.perSrc {
+		in.perSrc[i].rates = make(map[int]effRates)
+		in.perSrc[i].counters = make(map[int]uint64)
 	}
 	for _, kf := range plan.Kernels {
 		in.kfaults[kf.Kernel] = append(in.kfaults[kf.Kernel], kf)
@@ -132,33 +172,46 @@ func NewInjector(plan Plan, kernelPEs int) *Injector {
 	return in
 }
 
-// Stats returns a snapshot of the injection counters.
-func (in *Injector) Stats() Stats { return in.stats }
+// Stats sums the per-source shards into one snapshot. Call it only while
+// no simulation round is in flight (shards are written lock-free).
+func (in *Injector) Stats() Stats {
+	var out Stats
+	for i := range in.perSrc {
+		s := &in.perSrc[i].stats
+		out.Inspected += s.Inspected
+		out.Dropped += s.Dropped
+		out.Duplicated += s.Duplicated
+		out.Delayed += s.Delayed
+		out.Stalled += s.Stalled
+		out.Blackholed += s.Blackholed
+	}
+	return out
+}
 
-func (in *Injector) ratesFor(pk pair) effRates {
-	if r, ok := in.rates[pk]; ok {
+func (in *Injector) ratesFor(ss *srcState, src, dst int) effRates {
+	if r, ok := ss.rates[dst]; ok {
 		return r
 	}
 	r := effRates{drop: in.plan.Drop, dup: in.plan.Dup, jitter: in.plan.Jitter}
 	for _, lr := range in.plan.Links {
-		if (lr.Src == -1 || lr.Src == pk.src) && (lr.Dst == -1 || lr.Dst == pk.dst) {
+		if (lr.Src == -1 || lr.Src == src) && (lr.Dst == -1 || lr.Dst == dst) {
 			r = effRates{drop: lr.Drop, dup: lr.Dup, jitter: lr.Jitter}
 			break
 		}
 	}
-	in.rates[pk] = r
+	ss.rates[dst] = r
 	return r
 }
 
 // draw returns a uniform float64 in [0,1) for one decision of one message.
-func (in *Injector) draw(pk pair, ctr, salt uint64) float64 {
-	h := splitmix64(splitmix64(splitmix64(in.plan.Seed^(uint64(pk.src)<<32|uint64(uint32(pk.dst))))+ctr) + salt)
+func (in *Injector) draw(src, dst int, ctr, salt uint64) float64 {
+	h := splitmix64(splitmix64(splitmix64(in.plan.Seed^(uint64(src)<<32|uint64(uint32(dst))))+ctr) + salt)
 	return float64(h>>11) / (1 << 53)
 }
 
 func (in *Injector) crashed(pe int, now sim.Time) bool {
 	for _, kf := range in.kfaults[pe] {
-		if kf.CrashAt > 0 && now >= kf.CrashAt {
+		if kf.CrashAt > 0 && now >= kf.CrashAt && (kf.RecoverAt == 0 || now < kf.RecoverAt) {
 			return true
 		}
 	}
@@ -182,31 +235,31 @@ func (in *Injector) Inspect(now sim.Time, src, dst, size int) noc.Verdict {
 	if src == dst || src >= in.kernelPEs || dst >= in.kernelPEs {
 		return noc.Verdict{}
 	}
-	in.stats.Inspected++
-	pk := pair{src, dst}
-	ctr := in.counters[pk]
-	in.counters[pk] = ctr + 1
+	ss := &in.perSrc[src]
+	ss.stats.Inspected++
+	ctr := ss.counters[dst]
+	ss.counters[dst] = ctr + 1
 	// A crashed endpoint blackholes the link in both directions: messages
 	// to a dead kernel vanish, and a dead kernel sends nothing (its
 	// in-flight sends at crash time vanish too).
 	if in.crashed(src, now) || in.crashed(dst, now) {
-		in.stats.Blackholed++
+		ss.stats.Blackholed++
 		return noc.Verdict{Drop: true}
 	}
-	r := in.ratesFor(pk)
+	r := in.ratesFor(ss, src, dst)
 	var v noc.Verdict
-	if r.drop > 0 && in.draw(pk, ctr, saltDrop) < r.drop {
+	if r.drop > 0 && in.draw(src, dst, ctr, saltDrop) < r.drop {
 		v.Drop = true
-		in.stats.Dropped++
+		ss.stats.Dropped++
 	}
-	if !v.Drop && r.dup > 0 && in.draw(pk, ctr, saltDup) < r.dup {
+	if !v.Drop && r.dup > 0 && in.draw(src, dst, ctr, saltDup) < r.dup {
 		v.Dup = true
-		in.stats.Duplicated++
+		ss.stats.Duplicated++
 	}
 	if r.jitter > 0 {
-		if j := sim.Duration(in.draw(pk, ctr, saltJitter) * float64(r.jitter)); j > 0 {
+		if j := sim.Duration(in.draw(src, dst, ctr, saltJitter) * float64(r.jitter)); j > 0 {
 			v.Delay += j
-			in.stats.Delayed++
+			ss.stats.Delayed++
 		}
 	}
 	// Stall windows delay delivery into the stalled kernel (it stops
@@ -214,7 +267,7 @@ func (in *Injector) Inspect(now sim.Time, src, dst, size int) noc.Verdict {
 	if !v.Drop {
 		if d := in.stallDelay(dst, now); d > 0 {
 			v.Delay += d
-			in.stats.Stalled++
+			ss.stats.Stalled++
 		}
 	}
 	return v

@@ -154,6 +154,47 @@ func TestKernelCrash(t *testing.T) {
 	}
 }
 
+// TestKernelCrashRecovery: a RecoverAt bounds the blackhole window — traffic
+// resumes in both directions the cycle the kernel recovers.
+func TestKernelCrashRecovery(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Kernels: []KernelFault{{Kernel: 1, CrashAt: 1000, RecoverAt: 2000}}}, 4)
+	if v := in.Inspect(999, 0, 1, 64); v.Drop {
+		t.Fatalf("message before CrashAt must pass")
+	}
+	if v := in.Inspect(1000, 0, 1, 64); !v.Drop {
+		t.Fatalf("message inside the crash window must vanish")
+	}
+	if v := in.Inspect(1999, 1, 2, 64); !v.Drop {
+		t.Fatalf("outbound message inside the crash window must vanish")
+	}
+	if v := in.Inspect(2000, 0, 1, 64); v.Drop {
+		t.Fatalf("message at RecoverAt must pass — the window is half-open")
+	}
+	if v := in.Inspect(5000, 1, 2, 64); v.Drop {
+		t.Fatalf("outbound message after recovery must pass")
+	}
+	if got := in.Stats().Blackholed; got != 2 {
+		t.Fatalf("Blackholed = %d, want 2", got)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	ok := Plan{Kernels: []KernelFault{{Kernel: 1, CrashAt: 100, RecoverAt: 200}, {Kernel: 2, CrashAt: 50}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := []Plan{
+		{Kernels: []KernelFault{{Kernel: 1, RecoverAt: 200}}},               // recovery without a crash
+		{Kernels: []KernelFault{{Kernel: 1, CrashAt: 200, RecoverAt: 200}}}, // empty window
+		{Kernels: []KernelFault{{Kernel: 1, CrashAt: 300, RecoverAt: 200}}}, // inverted window
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid plan %d accepted", i)
+		}
+	}
+}
+
 func TestKernelStall(t *testing.T) {
 	in := NewInjector(Plan{Seed: 1, Kernels: []KernelFault{{Kernel: 1, StallAt: 1000, StallFor: 500}}}, 4)
 	if v := in.Inspect(500, 0, 1, 64); v.Delay != 0 {

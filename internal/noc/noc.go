@@ -80,7 +80,9 @@ type Verdict struct {
 // Injector inspects every message at send time and returns its fate.
 // Implementations (see internal/fault) must be deterministic functions of
 // their own state and the arguments: the network calls Inspect exactly
-// once per Send, in event order.
+// once per Send, in event order. Under isolated rounds, Inspect is called
+// concurrently from different sender domains, so implementations must
+// shard all mutable state by src.
 type Injector interface {
 	Inspect(now sim.Time, src, dst, size int) Verdict
 }
@@ -105,8 +107,10 @@ type Network struct {
 	// mutable send-path state is sharded per source node (each node's sends
 	// execute only on its own domain, so every shard has a single writer),
 	// the clock is the sending node's domain-local clock, and cross-domain
-	// deliveries travel as posts. Requires bound domains; forbids contention
-	// and injectors, whose state is inherently cross-domain.
+	// deliveries travel as posts. Requires bound domains; forbids contention,
+	// whose link state is inherently cross-domain. Injectors are consulted
+	// from the sender's path with the sender's clock, so implementations must
+	// shard their mutable state by source node (internal/fault does).
 	isolated bool
 	// srcStats/srcLast shard the activity counters and the per-pair FIFO
 	// horizon by source node; lostAt shards the receiver-side loss counter by
@@ -217,8 +221,9 @@ func (n *Network) BindDomains(domains []*sim.Domain) {
 func (n *Network) SetInjector(inj Injector) { n.inj = inj }
 
 // SetIsolated switches the network to the isolated-rounds send discipline
-// (see the Network field docs). Domains must be bound first; contention and
-// injectors are incompatible — their state is shared across all senders.
+// (see the Network field docs). Domains must be bound first; contention is
+// incompatible — its link state is shared across all senders. An injector
+// may be attached, provided it shards its mutable state by source node.
 func (n *Network) SetIsolated(iso bool) {
 	if !iso {
 		n.isolated = false
@@ -229,9 +234,6 @@ func (n *Network) SetIsolated(iso bool) {
 	}
 	if n.cfg.Contention {
 		panic("noc: contention is incompatible with isolated rounds (shared link state)")
-	}
-	if n.inj != nil {
-		panic("noc: fault injection is incompatible with isolated rounds (shared injector state)")
 	}
 	n.isolated = true
 	if n.srcStats == nil {
@@ -360,17 +362,41 @@ func (n *Network) sendIsolated(src, dst, size int, deliver func()) {
 	st.HopsSum += uint64(n.Hops(src, dst))
 	sd := n.domains[src]
 	now := sd.Now()
-	arrival := now + n.Latency(src, dst, size)
+	var v Verdict
+	if n.inj != nil {
+		// The verdict is drawn on the sender's path with the sender's clock;
+		// the injector's state must be sharded by source (field docs above).
+		v = n.inj.Inspect(now, src, dst, size)
+	}
+	arrival := now + n.Latency(src, dst, size) + v.Delay
 	if last, ok := n.srcLast[src][dst]; ok && arrival < last {
 		arrival = last
 	}
 	n.srcLast[src][dst] = arrival
-	dd := n.domains[dst]
-	if dd == sd {
-		sd.At(arrival, deliver)
+	if v.Drop {
+		st.Lost++
 		return
 	}
-	sd.Post(dd, arrival-now, deliver)
+	// Extra delay and the duplicate's gap only push arrival further out, so
+	// cross-domain posts still respect the lookahead bound.
+	dd := n.domains[dst]
+	send := func(at sim.Time) {
+		if dd == sd {
+			sd.At(at, deliver)
+			return
+		}
+		sd.Post(dd, at-now, deliver)
+	}
+	send(arrival)
+	if v.Dup {
+		gap := n.cfg.FlitLatency
+		if gap == 0 {
+			gap = 1
+		}
+		dupAt := arrival + gap
+		n.srcLast[src][dst] = dupAt
+		send(dupAt)
+	}
 }
 
 // directions for XY routing link identifiers.
